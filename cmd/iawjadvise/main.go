@@ -1,0 +1,115 @@
+// Command iawjadvise walks the paper's decision tree (Figure 4): given
+// workload characteristics and an optimization objective it recommends an
+// intra-window-join algorithm, and can immediately validate the advice by
+// running all algorithms on a matching synthetic workload.
+//
+// Usage:
+//
+//	iawjadvise -rater 1600 -rates 25600 -dupe 1 -objective latency
+//	iawjadvise -rater 12800 -rates 12800 -dupe 100 -validate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	iawj "repro"
+)
+
+func main() {
+	var (
+		rateR    = flag.Float64("rater", 1600, "arrival rate of R (tuples/ms; -1 = at rest)")
+		rateS    = flag.Float64("rates", 1600, "arrival rate of S (tuples/ms; -1 = at rest)")
+		dupe     = flag.Float64("dupe", 1, "average duplicates per key")
+		keySkew  = flag.Float64("keyskew", 0, "Zipf factor of keys")
+		tuples   = flag.Int("tuples", 1<<21, "total tuples in the window")
+		cores    = flag.Int("cores", runtime.GOMAXPROCS(0), "available cores")
+		obj      = flag.String("objective", "throughput", "throughput | latency | progressiveness")
+		validate = flag.Bool("validate", false, "run all algorithms on a matching Micro workload")
+		window   = flag.Int64("window", 100, "validation window length (ms)")
+	)
+	flag.Parse()
+
+	p := iawj.Profile{
+		RateR: *rateR, RateS: *rateS,
+		Dupe: *dupe, KeySkew: *keySkew,
+		Tuples: *tuples, Cores: *cores,
+	}
+	if p.RateR < 0 {
+		p.RateR = iawj.RateInfinite
+	}
+	if p.RateS < 0 {
+		p.RateS = iawj.RateInfinite
+	}
+	switch *obj {
+	case "throughput":
+		p.Objective = iawj.OptThroughput
+	case "latency":
+		p.Objective = iawj.OptLatency
+	case "progressiveness":
+		p.Objective = iawj.OptProgressiveness
+	default:
+		fmt.Fprintf(os.Stderr, "iawjadvise: unknown objective %q\n", *obj)
+		os.Exit(2)
+	}
+
+	adv := iawj.Advise(p)
+	fmt.Printf("recommended: %s\n", adv.Algorithm)
+	for _, step := range adv.Path {
+		fmt.Printf("  - %s\n", step)
+	}
+
+	if !*validate {
+		return
+	}
+	fmt.Println("\nvalidation on a matching Micro workload:")
+	w := iawj.Micro(iawj.MicroConfig{
+		RateR:    clampRate(p.RateR),
+		RateS:    clampRate(p.RateS),
+		WindowMs: *window,
+		Dupe:     int(*dupe),
+		KeySkew:  *keySkew,
+		Seed:     42,
+	})
+	fmt.Printf("%-8s %14s %14s %10s\n", "algo", "tput(t/ms)", "p95 lat(ms)", "t50%(ms)")
+	best := ""
+	var bestScore float64
+	for _, name := range iawj.Algorithms() {
+		res, err := iawj.JoinWorkload(w, iawj.Config{Algorithm: name, Threads: *cores, SIMD: true})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			continue
+		}
+		score := score(res, p.Objective)
+		if best == "" || score > bestScore {
+			best, bestScore = name, score
+		}
+		marker := "  "
+		if name == adv.Algorithm {
+			marker = "<-"
+		}
+		fmt.Printf("%-8s %14.1f %14d %10d %s\n",
+			name, res.ThroughputTPM, res.LatencyP95Ms, res.TimeToFrac(0.5), marker)
+	}
+	fmt.Printf("measured best for %s: %s\n", p.Objective, best)
+}
+
+func clampRate(r float64) int {
+	if r >= iawj.RateInfinite {
+		return 25600
+	}
+	return int(r)
+}
+
+func score(res iawj.Result, obj iawj.Objective) float64 {
+	switch obj {
+	case iawj.OptLatency:
+		return -float64(res.LatencyP95Ms)
+	case iawj.OptProgressiveness:
+		return -float64(res.TimeToFrac(0.5))
+	default:
+		return res.ThroughputTPM
+	}
+}

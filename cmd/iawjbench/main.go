@@ -1,0 +1,57 @@
+// Command iawjbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	iawjbench -exp fig5                 # one experiment
+//	iawjbench -all                      # the whole evaluation section
+//	iawjbench -exp fig9 -threads 8 -window 1000 -scale 0.1
+//
+// Experiment ids follow the paper: table3, table5, table6, fig3..fig21.
+// Defaults run a scaled-down configuration that finishes in seconds;
+// raise -scale / -window toward paper magnitudes for slower, closer runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/exp"
+	"repro/internal/gen"
+)
+
+func main() {
+	var (
+		expID   = flag.String("exp", "", "experiment id to run ("+strings.Join(exp.IDs(), ", ")+")")
+		all     = flag.Bool("all", false, "run every experiment")
+		threads = flag.Int("threads", 0, "worker threads (default min(8, GOMAXPROCS))")
+		scale   = flag.Float64("scale", 0.02, "real-world workload scale (1 = paper magnitude)")
+		window  = flag.Int64("window", 100, "Micro sweep window length in ms (paper: 1000)")
+		seed    = flag.Uint64("seed", 42, "workload generation seed")
+		simNs   = flag.Float64("nsperms", 0, "real ns per simulated ms (0 = default compression)")
+	)
+	flag.Parse()
+
+	opts := exp.Options{
+		W:             os.Stdout,
+		Threads:       *threads,
+		Scale:         gen.Scale(*scale),
+		MicroWindowMs: *window,
+		NsPerSimMs:    *simNs,
+		Seed:          *seed,
+	}
+	switch {
+	case *all:
+		exp.RunAll(opts)
+	case *expID != "":
+		if err := exp.Run(*expID, opts); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "iawjbench: pass -exp <id> or -all; available ids:")
+		fmt.Fprintln(os.Stderr, " ", strings.Join(exp.IDs(), " "))
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,106 @@
+// Command iawjgen generates benchmark workloads, prints their Table 3
+// statistics, dumps them as CSV for external tools, and loads externally
+// obtained CSV datasets back into the harness.
+//
+// Usage:
+//
+//	iawjgen -stats                       # Table 3 statistics of all workloads
+//	iawjgen -workload Rovio -scale 0.05 -out rovio   # rovio_R.csv / rovio_S.csv
+//	iawjgen -micro -rate 1600 -window 1000 -dupe 10 -keyskew 0.5 -out micro
+//	iawjgen -inR trades.csv -inS quotes.csv          # stats of an external dataset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/gen"
+	"repro/internal/tuple"
+)
+
+func main() {
+	var (
+		stats    = flag.Bool("stats", false, "print Table 3 statistics for the four real-world workloads")
+		workload = flag.String("workload", "", "real-world workload to generate (Stock, Rovio, YSB, DEBS)")
+		micro    = flag.Bool("micro", false, "generate the synthetic Micro workload")
+		rate     = flag.Int("rate", 1600, "micro: arrival rate of both streams (tuples/ms)")
+		window   = flag.Int64("window", 1000, "micro: window length (ms)")
+		dupe     = flag.Int("dupe", 1, "micro: average duplicates per key")
+		keySkew  = flag.Float64("keyskew", 0, "micro: Zipf factor of keys")
+		tsSkew   = flag.Float64("tsskew", 0, "micro: Zipf factor of arrival timestamps")
+		scale    = flag.Float64("scale", 0.02, "real-world workload scale (1 = paper magnitude)")
+		seed     = flag.Uint64("seed", 42, "generation seed")
+		out      = flag.String("out", "", "CSV output prefix; writes <out>_R.csv and <out>_S.csv")
+		inR      = flag.String("inR", "", "load stream R from this CSV file")
+		inS      = flag.String("inS", "", "load stream S from this CSV file")
+	)
+	flag.Parse()
+
+	var w gen.Workload
+	switch {
+	case *stats:
+		printStats(gen.Stock(gen.Scale(*scale), *seed))
+		printStats(gen.Rovio(gen.Scale(*scale), *seed))
+		printStats(gen.YSB(gen.Scale(*scale), *seed))
+		printStats(gen.DEBS(gen.Scale(*scale), *seed))
+		return
+	case *inR != "" && *inS != "":
+		var err error
+		w, err = gen.LoadCSVWorkload("external", *inR, *inS)
+		if err != nil {
+			fatal(err)
+		}
+	case *micro:
+		w = gen.Micro(gen.MicroConfig{
+			RateR: *rate, RateS: *rate, WindowMs: *window,
+			Dupe: *dupe, KeySkew: *keySkew, TSSkew: *tsSkew, Seed: *seed,
+		})
+	case *workload != "":
+		var err error
+		w, err = gen.ByName(*workload, gen.Scale(*scale), *seed)
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	printStats(w)
+	if *out != "" {
+		for _, side := range []struct {
+			suffix string
+			rel    tuple.Relation
+		}{{"_R.csv", w.R}, {"_S.csv", w.S}} {
+			path := *out + side.suffix
+			if err := writeFile(path, side.rel); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s (%d tuples)\n", path, len(side.rel))
+		}
+	}
+}
+
+func printStats(w gen.Workload) {
+	r, s := w.R.Summarize(), w.S.Summarize()
+	fmt.Printf("%-8s |R|=%-8d |S|=%-8d vR=%-8.1f vS=%-8.1f dupeR=%-8.1f dupeS=%-8.1f skewR=%.3f skewS=%.3f atRest=%v\n",
+		w.Name, r.Tuples, s.Tuples, r.Rate, s.Rate, r.Dupe, s.Dupe, r.KeySkew, s.KeySkew, w.AtRest)
+}
+
+func writeFile(path string, rel tuple.Relation) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := gen.WriteCSV(f, rel); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

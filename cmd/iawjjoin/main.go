@@ -1,0 +1,170 @@
+// Command iawjjoin runs one intra-window join and reports the metrics the
+// study measures. Inputs come from CSV files, a named synthetic workload,
+// or live tagged TCP streams; the algorithm can be fixed or left to the
+// decision tree.
+//
+// Usage:
+//
+//	iawjjoin -inR trades.csv -inS quotes.csv -algorithm SHJ_JM
+//	iawjjoin -workload Rovio -scale 0.01 -algorithm ADAPTIVE -format json
+//	iawjjoin -listen 127.0.0.1:7654 -algorithm NPJ   # waits for R and S streams
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	iawj "repro"
+	"repro/internal/gen"
+	"repro/internal/ingest"
+)
+
+func main() {
+	var (
+		inR       = flag.String("inR", "", "CSV file for stream R")
+		inS       = flag.String("inS", "", "CSV file for stream S")
+		workload  = flag.String("workload", "", "synthetic workload (Stock, Rovio, YSB, DEBS)")
+		scale     = flag.Float64("scale", 0.02, "workload scale (1 = paper magnitude)")
+		listen    = flag.String("listen", "", "accept R/S streams on this TCP address instead of files")
+		algorithm = flag.String("algorithm", iawj.AdaptiveName, "algorithm name or ADAPTIVE")
+		threads   = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
+		atRest    = flag.Bool("atrest", false, "treat inputs as data at rest (no arrival simulation)")
+		simd      = flag.Bool("simd", true, "use the vectorized-substitute sort kernels")
+		radixBits = flag.Int("radixbits", 0, "PRJ #r (0 = default)")
+		sortStep  = flag.Float64("sortstep", 0, "PMJ δ as a fraction (0 = default)")
+		groupSize = flag.Int("groupsize", 0, "JB group size g (0 = default)")
+		spillDir  = flag.String("spill", "", "PMJ disk-spill directory")
+		format    = flag.String("format", "text", "output format: text | json")
+		seed      = flag.Uint64("seed", 42, "seed for synthetic workloads")
+	)
+	flag.Parse()
+
+	w, err := loadInputs(*inR, *inS, *workload, *listen, *scale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := iawj.Config{
+		Algorithm:    *algorithm,
+		Threads:      *threads,
+		AtRest:       *atRest || w.AtRest,
+		SIMD:         *simd,
+		RadixBits:    *radixBits,
+		SortStepFrac: *sortStep,
+		GroupSize:    *groupSize,
+		SpillDir:     *spillDir,
+	}
+	res, err := iawj.JoinWorkload(w, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch *format {
+	case "json":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report(w, res)); err != nil {
+			fatal(err)
+		}
+	case "text":
+		printText(w, res)
+	default:
+		fatal(fmt.Errorf("iawjjoin: unknown format %q", *format))
+	}
+}
+
+func loadInputs(inR, inS, workload, listen string, scale float64, seed uint64) (gen.Workload, error) {
+	switch {
+	case listen != "":
+		srv, err := ingest.Listen(listen)
+		if err != nil {
+			return gen.Workload{}, err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "listening on %s for tagged R and S streams...\n", srv.Addr())
+		r, s, err := srv.AcceptPair(1 << 26)
+		if err != nil {
+			return gen.Workload{}, err
+		}
+		w := gen.Workload{Name: "network", R: r, S: s}
+		w.WindowMs = r.MaxTS()
+		if m := s.MaxTS(); m > w.WindowMs {
+			w.WindowMs = m
+		}
+		w.AtRest = w.WindowMs == 0
+		return w, nil
+	case inR != "" && inS != "":
+		return gen.LoadCSVWorkload("csv", inR, inS)
+	case workload != "":
+		return gen.ByName(workload, gen.Scale(scale), seed)
+	}
+	return gen.Workload{}, fmt.Errorf("iawjjoin: provide -inR/-inS, -workload, or -listen")
+}
+
+// jsonReport is the machine-readable run summary.
+type jsonReport struct {
+	Workload      string  `json:"workload"`
+	Algorithm     string  `json:"algorithm"`
+	Threads       int     `json:"threads"`
+	Inputs        int64   `json:"inputs"`
+	Matches       int64   `json:"matches"`
+	ThroughputTPM float64 `json:"throughput_tuples_per_ms"`
+	LatencyP50Ms  int64   `json:"latency_p50_ms"`
+	LatencyP95Ms  int64   `json:"latency_p95_ms"`
+	LatencyMaxMs  int64   `json:"latency_max_ms"`
+	TimeTo50Pct   int64   `json:"time_to_50pct_matches_ms"`
+	CPUUtil       float64 `json:"cpu_utilization"`
+	MemPeakBytes  int64   `json:"mem_peak_bytes"`
+	PhaseNs       struct {
+		Wait      int64 `json:"wait"`
+		Partition int64 `json:"partition"`
+		BuildSort int64 `json:"build_sort"`
+		Merge     int64 `json:"merge"`
+		Probe     int64 `json:"probe"`
+		Others    int64 `json:"others"`
+	} `json:"phase_ns"`
+}
+
+func report(w gen.Workload, res iawj.Result) jsonReport {
+	out := jsonReport{
+		Workload:      w.Name,
+		Algorithm:     res.Algorithm,
+		Threads:       res.Threads,
+		Inputs:        res.Inputs,
+		Matches:       res.Matches,
+		ThroughputTPM: res.ThroughputTPM,
+		LatencyP50Ms:  res.LatencyP50Ms,
+		LatencyP95Ms:  res.LatencyP95Ms,
+		LatencyMaxMs:  res.LatencyMaxMs,
+		TimeTo50Pct:   res.TimeToFrac(0.5),
+		CPUUtil:       res.CPUUtil,
+		MemPeakBytes:  res.MemPeakBytes,
+	}
+	out.PhaseNs.Wait = res.PhaseNs[0]
+	out.PhaseNs.Partition = res.PhaseNs[1]
+	out.PhaseNs.BuildSort = res.PhaseNs[2]
+	out.PhaseNs.Merge = res.PhaseNs[3]
+	out.PhaseNs.Probe = res.PhaseNs[4]
+	out.PhaseNs.Others = res.PhaseNs[5]
+	return out
+}
+
+func printText(w gen.Workload, res iawj.Result) {
+	fmt.Printf("workload    %s (|R|=%d |S|=%d window=%dms atRest=%v)\n",
+		w.Name, len(w.R), len(w.S), w.WindowMs, w.AtRest)
+	fmt.Printf("algorithm   %s (%d threads)\n", res.Algorithm, res.Threads)
+	fmt.Printf("matches     %d\n", res.Matches)
+	fmt.Printf("throughput  %.1f tuples/ms\n", res.ThroughputTPM)
+	fmt.Printf("latency     p50=%dms p95=%dms max=%dms\n",
+		res.LatencyP50Ms, res.LatencyP95Ms, res.LatencyMaxMs)
+	fmt.Printf("progress    50%% of matches by %dms\n", res.TimeToFrac(0.5))
+	fmt.Printf("cpu util    %.1f%%\n", res.CPUUtil*100)
+	fmt.Printf("peak mem    %d bytes\n", res.MemPeakBytes)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,100 @@
+package iawj_test
+
+import (
+	"fmt"
+
+	iawj "repro"
+)
+
+// ExampleJoin joins two tiny in-memory streams over one window.
+func ExampleJoin() {
+	r := iawj.Relation{
+		{TS: 0, Key: 1, Payload: 10},
+		{TS: 5, Key: 2, Payload: 11},
+	}
+	s := iawj.Relation{
+		{TS: 3, Key: 1, Payload: 20},
+		{TS: 7, Key: 2, Payload: 21},
+		{TS: 9, Key: 2, Payload: 22},
+	}
+	res, err := iawj.Join(r, s, iawj.Config{Algorithm: "NPJ", Threads: 1, AtRest: true})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("matches:", res.Matches)
+	// Output:
+	// matches: 3
+}
+
+// ExampleJoin_emit materializes the join output through the Emit hook.
+func ExampleJoin_emit() {
+	r := iawj.Relation{{TS: 0, Key: 7, Payload: 1}}
+	s := iawj.Relation{{TS: 2, Key: 7, Payload: 2}}
+	col := iawj.NewCollectResults()
+	if _, err := iawj.Join(r, s, iawj.Config{
+		Algorithm: "SHJ_JM", Threads: 1, AtRest: true, Emit: col.Emit,
+	}); err != nil {
+		panic(err)
+	}
+	for _, jr := range col.Results() {
+		fmt.Printf("key=%d ts=%d payloads=%d|%d\n", jr.Key, jr.TS, jr.PayloadR, jr.PayloadS)
+	}
+	// Output:
+	// key=7 ts=2 payloads=1|2
+}
+
+// ExampleAdvise walks the paper's decision tree for a medium-rate,
+// high-duplication workload.
+func ExampleAdvise() {
+	adv := iawj.Advise(iawj.Profile{
+		RateR: 12800, RateS: 12800,
+		Dupe:  100,
+		Cores: 8,
+	})
+	fmt.Println(adv.Algorithm)
+	// Output:
+	// PMJ_JB
+}
+
+// ExampleExpectedMatches computes the ground-truth join cardinality.
+func ExampleExpectedMatches() {
+	r := iawj.Relation{{Key: 1}, {Key: 1}, {Key: 2}}
+	s := iawj.Relation{{Key: 1}, {Key: 3}}
+	fmt.Println(iawj.ExpectedMatches(r, s))
+	// Output:
+	// 2
+}
+
+// ExampleJoinWindowed runs the intra-window join per tumbling window of
+// two longer streams.
+func ExampleJoinWindowed() {
+	r := iawj.Relation{
+		{TS: 1, Key: 1}, {TS: 12, Key: 2}, {TS: 25, Key: 3},
+	}
+	s := iawj.Relation{
+		{TS: 2, Key: 1}, {TS: 13, Key: 2}, {TS: 14, Key: 2}, {TS: 29, Key: 3},
+	}
+	results, err := iawj.JoinWindowed(r, s,
+		iawj.WindowSpec{Kind: iawj.Tumbling, LengthMs: 10},
+		iawj.Config{Algorithm: "NPJ", Threads: 1, AtRest: true})
+	if err != nil {
+		panic(err)
+	}
+	for _, wr := range results {
+		fmt.Printf("[%d,%d): %d\n", wr.Start, wr.End, wr.Result.Matches)
+	}
+	fmt.Println("total:", iawj.TotalMatches(results))
+	// Output:
+	// [0,10): 1
+	// [10,20): 2
+	// [20,30): 1
+	// total: 4
+}
+
+// ExampleMicro generates the study's tunable synthetic workload.
+func ExampleMicro() {
+	w := iawj.Micro(iawj.MicroConfig{RateR: 4, RateS: 8, WindowMs: 100, Dupe: 2, Seed: 1})
+	fmt.Println(len(w.R), len(w.S), w.WindowMs)
+	// Output:
+	// 400 800 100
+}

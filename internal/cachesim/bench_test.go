@@ -1,0 +1,31 @@
+package cachesim
+
+import "testing"
+
+// BenchmarkAccessSequential measures the simulator's own overhead on a
+// cache-friendly trace; profile runs pay roughly this per traced access.
+func BenchmarkAccessSequential(b *testing.B) {
+	h := New(DefaultConfig())
+	for i := 0; i < b.N; i++ {
+		h.Access(uint64(i%4096) * 64)
+	}
+}
+
+// BenchmarkAccessRandomStride measures the miss-heavy path (full lookup
+// plus LRU replacement at every level).
+func BenchmarkAccessRandomStride(b *testing.B) {
+	h := New(DefaultConfig())
+	addr := uint64(0)
+	for i := 0; i < b.N; i++ {
+		addr = addr*6364136223846793005 + 1442695040888963407
+		h.Access(addr)
+	}
+}
+
+func BenchmarkPhasedAccess(b *testing.B) {
+	p := NewPhased()
+	p.SetPhase(1)
+	for i := 0; i < b.N; i++ {
+		p.Access(uint64(i%4096) * 64)
+	}
+}

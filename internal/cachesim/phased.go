@@ -1,0 +1,63 @@
+package cachesim
+
+// PhaseSetter is implemented by tracers that attribute counters to
+// execution phases; the core runner notifies it on phase transitions so
+// Figure 8-style per-phase cache statistics can be extracted.
+type PhaseSetter interface {
+	SetPhase(phase int)
+}
+
+// Phased wraps a Hierarchy and splits its counters by execution phase.
+// Like Hierarchy it is single-threaded; profile runs use one worker.
+type Phased struct {
+	H *Hierarchy
+
+	cur      int
+	last     Counters
+	perPhase map[int]Counters
+}
+
+// NewPhased wraps a fresh default Hierarchy.
+func NewPhased() *Phased {
+	return NewPhasedWith(DefaultConfig())
+}
+
+// NewPhasedWith wraps a Hierarchy with a custom configuration (profile
+// runs over scaled workloads pair with ScaledConfig).
+func NewPhasedWith(cfg Config) *Phased {
+	return &Phased{H: New(cfg), cur: -1, perPhase: make(map[int]Counters)}
+}
+
+// Access implements Tracer.
+func (p *Phased) Access(addr uint64) { p.H.Access(addr) }
+
+// Op implements Tracer.
+func (p *Phased) Op(n uint64) { p.H.Op(n) }
+
+// SetPhase implements PhaseSetter: it closes the running phase's counter
+// window and opens the next.
+func (p *Phased) SetPhase(phase int) {
+	now := p.H.Counters()
+	if p.cur >= 0 {
+		d := now.Sub(p.last)
+		agg := p.perPhase[p.cur]
+		agg.Accesses += d.Accesses
+		agg.L1Miss += d.L1Miss
+		agg.L2Miss += d.L2Miss
+		agg.L3Miss += d.L3Miss
+		agg.TLBMiss += d.TLBMiss
+		agg.Ops += d.Ops
+		p.perPhase[p.cur] = agg
+	}
+	p.cur = phase
+	p.last = now
+}
+
+// Flush closes the current phase window; call after the run completes.
+func (p *Phased) Flush() { p.SetPhase(-1) }
+
+// Phase returns the accumulated counters of one phase.
+func (p *Phased) Phase(phase int) Counters { return p.perPhase[phase] }
+
+// Total returns the hierarchy-wide counters.
+func (p *Phased) Total() Counters { return p.H.Counters() }

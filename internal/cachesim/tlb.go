@@ -1,0 +1,65 @@
+package cachesim
+
+// TLB models the data translation lookaside buffer whose misses Table 5
+// reports (TLBD): a small fully-associative LRU cache of page numbers.
+// Every traced Access also consults the TLB, so random-access structures
+// spread over many pages (shared hash tables, JB router state) exhibit the
+// TLB pressure the paper measures with Intel PCM.
+type TLB struct {
+	entries  int
+	pageBits uint
+	pages    []uint64
+	ages     []uint64
+	tick     uint64
+
+	Hits, Misses uint64
+}
+
+// NewTLB creates a TLB with the given entry count and page size. The
+// defaults used by the hierarchy (64 entries, 4KiB pages) mirror a typical
+// first-level DTLB.
+func NewTLB(entries int, pageSize int) *TLB {
+	if entries <= 0 {
+		entries = 64
+	}
+	bits := uint(0)
+	for ps := pageSize; ps > 1; ps >>= 1 {
+		bits++
+	}
+	if bits == 0 {
+		bits = 12
+	}
+	t := &TLB{
+		entries:  entries,
+		pageBits: bits,
+		pages:    make([]uint64, entries),
+		ages:     make([]uint64, entries),
+	}
+	for i := range t.pages {
+		t.pages[i] = ^uint64(0)
+	}
+	return t
+}
+
+// Access translates addr, returning true on a TLB hit.
+func (t *TLB) Access(addr uint64) bool {
+	page := addr >> t.pageBits
+	t.tick++
+	lru := 0
+	lruAge := ^uint64(0)
+	for i := 0; i < t.entries; i++ {
+		if t.pages[i] == page {
+			t.ages[i] = t.tick
+			t.Hits++
+			return true
+		}
+		if t.ages[i] < lruAge {
+			lruAge = t.ages[i]
+			lru = i
+		}
+	}
+	t.Misses++
+	t.pages[lru] = page
+	t.ages[lru] = t.tick
+	return false
+}

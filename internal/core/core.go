@@ -1,0 +1,253 @@
+// Package core is the heart of the study's benchmark framework: the
+// execution context shared by all eight intra-window-join algorithms, the
+// runner that drives a join over a simulated window, and the decision tree
+// distilled from the evaluation (Figure 4).
+//
+// The paper's primary contribution is not a new join but the framework
+// that puts lazy relational joins and eager stream joins on equal footing:
+// one tuple model, one arrival simulation, one metrics harness. This
+// package provides exactly that.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/cachesim"
+	"repro/internal/clock"
+	"repro/internal/metrics"
+	"repro/internal/tuple"
+)
+
+// Approach classifies an algorithm's execution approach (Section 3).
+type Approach int
+
+// Lazy algorithms buffer the window then join; eager algorithms join
+// aggressively on arrival.
+const (
+	Lazy Approach = iota
+	Eager
+)
+
+func (a Approach) String() string {
+	if a == Lazy {
+		return "lazy"
+	}
+	return "eager"
+}
+
+// JoinMethod classifies the join method design aspect.
+type JoinMethod int
+
+// Hash- or sort-based matching.
+const (
+	HashJoin JoinMethod = iota
+	SortJoin
+)
+
+func (m JoinMethod) String() string {
+	if m == HashJoin {
+		return "hash"
+	}
+	return "sort"
+}
+
+// Knobs carries the per-algorithm tuning parameters studied in Section 5.5.
+type Knobs struct {
+	// RadixBits is PRJ's #r (Figure 18). Zero selects the default (10,
+	// the experimentally determined sweet spot on the paper's machine).
+	RadixBits int
+	// SortStepFrac is PMJ's δ as a fraction of the expected input per
+	// stream (Figure 15). Zero selects the default 0.2 (20%).
+	SortStepFrac float64
+	// GroupSize is the JB scheme's g (Figure 16). Zero selects 1
+	// (strict hash partitioning); g == Threads degenerates to JM.
+	GroupSize int
+	// PhysicalPartition makes the eager distribution pass tuple values
+	// instead of pointers (Figure 17).
+	PhysicalPartition bool
+	// SIMD toggles the vectorized-substitute sort kernels (Figure 21).
+	SIMD bool
+	// BatchSize bounds how many tuples an eager worker pulls from one
+	// stream before re-checking the other; default 64.
+	BatchSize int
+	// SpillDir, when non-empty, makes PMJ write sealed runs to disk in
+	// this directory and re-read them during the merge phase — the
+	// original disk-based PMJ behaviour.
+	SpillDir string
+}
+
+func (k *Knobs) defaults() {
+	if k.RadixBits <= 0 {
+		k.RadixBits = 10
+	}
+	if k.SortStepFrac <= 0 {
+		k.SortStepFrac = 0.2
+	}
+	if k.GroupSize <= 0 {
+		k.GroupSize = 1
+	}
+	if k.BatchSize <= 0 {
+		k.BatchSize = 64
+	}
+}
+
+// ExecContext is everything an algorithm needs for one run.
+type ExecContext struct {
+	R, S     tuple.Relation
+	WindowMs int64
+	Threads  int
+	Clock    clock.Source
+	M        *metrics.Collector
+	Knobs    Knobs
+	// Tracer, when non-nil, feeds the cache simulator; profile runs are
+	// single-threaded so the trace is deterministic.
+	Tracer cachesim.Tracer
+	// Emit materializes join outputs; nil counts only (the paper
+	// measures the join process, not downstream consumption). Emit may
+	// be called concurrently from worker goroutines.
+	Emit func(tuple.JoinResult)
+}
+
+// NowMs returns the current simulated time.
+func (ctx *ExecContext) NowMs() int64 { return ctx.Clock.NowMs() }
+
+// SetPhase forwards a phase transition to a phase-aware tracer so profile
+// runs can attribute cache statistics per phase (Figure 8).
+func (ctx *ExecContext) SetPhase(p metrics.Phase) {
+	if ps, ok := ctx.Tracer.(cachesim.PhaseSetter); ok {
+		ps.SetPhase(int(p))
+	}
+}
+
+// Begin switches worker tid into phase p, updating both the time breakdown
+// and, if attached, the phase-aware tracer.
+func (ctx *ExecContext) Begin(tid int, p metrics.Phase) {
+	ctx.M.T(tid).Begin(p)
+	if ctx.Tracer != nil {
+		ctx.SetPhase(p)
+	}
+}
+
+// Avail reports whether a tuple with timestamp ts has arrived.
+func (ctx *ExecContext) Avail(ts int64) bool { return ctx.Clock.Avail(ts) }
+
+// WaitWindow blocks until the window has fully arrived, crediting the
+// elapsed time to the wait phase of thread tid. Lazy algorithms call this
+// before processing; for data at rest it returns immediately.
+func (ctx *ExecContext) WaitWindow(tid int) {
+	if ctx.Clock.AtRest() {
+		return
+	}
+	last := ctx.R.MaxTS()
+	if s := ctx.S.MaxTS(); s > last {
+		last = s
+	}
+	if ctx.WindowMs > last {
+		last = ctx.WindowMs
+	}
+	tm := ctx.M.T(tid)
+	tm.Begin(metrics.PhaseWait)
+	for !ctx.Clock.Avail(last) {
+		time.Sleep(50 * time.Microsecond)
+	}
+	tm.End()
+}
+
+// Chunk returns the [lo, hi) bounds of thread tid's equisized portion of n
+// items, the workload division used by the lazy algorithms.
+func Chunk(n, threads, tid int) (lo, hi int) {
+	lo = tid * n / threads
+	hi = (tid + 1) * n / threads
+	return lo, hi
+}
+
+// Algorithm is one of the eight studied intra-window-join algorithms.
+type Algorithm interface {
+	// Name is the paper's identifier, e.g. "NPJ" or "SHJ_JM".
+	Name() string
+	// Approach reports lazy or eager execution.
+	Approach() Approach
+	// Method reports hash- or sort-based matching.
+	Method() JoinMethod
+	// Run executes the join to completion.
+	Run(ctx *ExecContext) error
+}
+
+// RunConfig configures one benchmark run.
+type RunConfig struct {
+	Threads int
+	// NsPerSimMs scales simulated time: real nanoseconds per simulated
+	// millisecond. Zero keeps the default compression (50µs per
+	// simulated ms); use 1e6 for real time.
+	NsPerSimMs float64
+	// AtRest disables arrival simulation: all tuples are instantly
+	// available (static datasets).
+	AtRest bool
+	Knobs  Knobs
+	Tracer cachesim.Tracer
+	Emit   func(tuple.JoinResult)
+}
+
+// DefaultNsPerSimMs compresses one simulated millisecond into 50µs of real
+// time so that a one-second window replays in 50ms of wall time.
+const DefaultNsPerSimMs = 50e3
+
+// ErrNoAlgorithm is returned by Run when alg is nil.
+var ErrNoAlgorithm = errors.New("core: nil algorithm")
+
+// ErrUnsortedInput is returned by Run for streaming inputs that are not
+// time ordered: arrival gating walks each stream once in timestamp order,
+// so an unsorted stream would silently hold back every tuple behind a
+// late-timestamped one.
+var ErrUnsortedInput = errors.New("core: streaming input is not time ordered")
+
+// Run executes alg over one window of r and s and returns the merged
+// metrics.
+func Run(alg Algorithm, r, s tuple.Relation, windowMs int64, cfg RunConfig) (metrics.Result, error) {
+	if alg == nil {
+		return metrics.Result{}, ErrNoAlgorithm
+	}
+	if !cfg.AtRest && (!r.SortedByTS() || !s.SortedByTS()) {
+		return metrics.Result{}, ErrUnsortedInput
+	}
+	threads := cfg.Threads
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	knobs := cfg.Knobs
+	knobs.defaults()
+	ns := cfg.NsPerSimMs
+	if ns <= 0 {
+		ns = DefaultNsPerSimMs
+	}
+	var src clock.Source
+	if cfg.AtRest {
+		// Static data ticks at the same compressed rate so latency and
+		// throughput units stay comparable with streaming runs, and
+		// short static joins still resolve to more than a tick or two.
+		src = clock.NewStatic(ns)
+	} else {
+		src = clock.NewScaled(ns)
+	}
+	ctx := &ExecContext{
+		R:        r,
+		S:        s,
+		WindowMs: windowMs,
+		Threads:  threads,
+		Clock:    src,
+		M:        metrics.NewCollector(threads),
+		Knobs:    knobs,
+		Tracer:   cfg.Tracer,
+		Emit:     cfg.Emit,
+	}
+	start := time.Now()
+	if err := alg.Run(ctx); err != nil {
+		return metrics.Result{}, fmt.Errorf("core: %s: %w", alg.Name(), err)
+	}
+	wall := time.Since(start).Nanoseconds()
+	res := ctx.M.Snapshot(alg.Name(), int64(len(r)+len(s)), wall)
+	return res, nil
+}

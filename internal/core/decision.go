@@ -1,0 +1,177 @@
+package core
+
+import "fmt"
+
+// This file encodes the decision tree of Figure 4, the study's practical
+// takeaway: given workload characteristics, the optimization objective,
+// and the core budget, pick the algorithm the evaluation found best.
+
+// RateLevel coarsens the input arrival rate. The qualitative levels are
+// relative to the machine's processing rate, as the paper notes; the
+// thresholds below match the Micro sweep where 1600 tuples/ms behaved as
+// "low", ~12800 as "medium", and 25600 as "high" on the evaluation box.
+type RateLevel int
+
+// Arrival-rate levels of the decision tree root.
+const (
+	RateLow RateLevel = iota
+	RateMedium
+	RateHigh
+)
+
+func (r RateLevel) String() string {
+	switch r {
+	case RateLow:
+		return "low"
+	case RateMedium:
+		return "medium"
+	default:
+		return "high"
+	}
+}
+
+// Objective is the performance metric the application optimizes for.
+type Objective int
+
+// The three metrics of Section 4.1.
+const (
+	OptThroughput Objective = iota
+	OptLatency
+	OptProgressiveness
+)
+
+func (o Objective) String() string {
+	switch o {
+	case OptThroughput:
+		return "throughput"
+	case OptLatency:
+		return "latency"
+	default:
+		return "progressiveness"
+	}
+}
+
+// Profile describes a workload for the decision tree.
+type Profile struct {
+	// RateR and RateS are the arrival rates in tuples/ms; use
+	// RateInfinite for data at rest.
+	RateR, RateS float64
+	// Dupe is the average key duplication.
+	Dupe float64
+	// KeySkew is the Zipf factor of the key distribution.
+	KeySkew float64
+	// Tuples is the total number of tuples to join in the window.
+	Tuples int
+	// Cores is the available core count.
+	Cores int
+	// Objective selects the metric to optimize.
+	Objective Objective
+}
+
+// RateInfinite marks a static (at rest) input stream.
+const RateInfinite = float64(1 << 30)
+
+// Thresholds calibrate the qualitative labels of the tree to a machine.
+// The defaults reflect the paper's evaluation platform.
+type Thresholds struct {
+	RateLowMax     float64 // ≤ → low
+	RateHighMin    float64 // ≥ → high
+	DupeHighMin    float64 // ≥ → high key duplication
+	SkewHighMin    float64 // ≥ → high key skewness
+	CoresLargeMin  int     // ≥ → large number of cores
+	TuplesLargeMin int     // ≥ → large join
+}
+
+// DefaultThresholds returns the calibration used throughout the repo.
+func DefaultThresholds() Thresholds {
+	return Thresholds{
+		RateLowMax:     2000,
+		RateHighMin:    20000,
+		DupeHighMin:    10,
+		SkewHighMin:    1.0,
+		CoresLargeMin:  8,
+		TuplesLargeMin: 1 << 20,
+	}
+}
+
+// Advice is the decision tree's output.
+type Advice struct {
+	Algorithm string
+	// Path records the decisions taken, root to leaf, for explainability.
+	Path []string
+}
+
+func (a Advice) String() string {
+	return fmt.Sprintf("%s (%v)", a.Algorithm, a.Path)
+}
+
+// Advise walks the Figure 4 decision tree.
+func Advise(p Profile, th Thresholds) Advice {
+	var path []string
+	step := func(s string) { path = append(path, s) }
+
+	minRate := p.RateR
+	if p.RateS < minRate {
+		minRate = p.RateS
+	}
+	maxRate := p.RateR
+	if p.RateS > maxRate {
+		maxRate = p.RateS
+	}
+
+	// "We recommend SHJ_JM whenever one input stream has low arrival
+	// rate, as it is able to eagerly utilize hardware resources with low
+	// overhead."
+	if minRate <= th.RateLowMax {
+		step("arrival rate: at least one is low")
+		return Advice{Algorithm: "SHJ_JM", Path: path}
+	}
+
+	level := RateMedium
+	switch {
+	case maxRate >= th.RateHighMin:
+		level = RateHigh
+	case maxRate <= th.RateLowMax:
+		level = RateLow
+	}
+	step("arrival rate: " + level.String())
+
+	if level == RateHigh {
+		return adviseLazy(p, th, path, step)
+	}
+
+	// Medium arrival rate.
+	if p.Dupe >= th.DupeHighMin {
+		step("key duplication: high")
+		return Advice{Algorithm: "PMJ_JB", Path: path}
+	}
+	step("key duplication: low")
+	if p.Objective == OptThroughput {
+		step("objective: throughput")
+		return adviseLazy(p, th, path, step)
+	}
+	step("objective: " + p.Objective.String())
+	return Advice{Algorithm: "SHJ_JM", Path: path}
+}
+
+// adviseLazy resolves the lazy sub-tree: sort-based for high duplication
+// (MPass scaling better at large core counts), hash-based otherwise (PRJ
+// when skew is low and the join is large, NPJ otherwise).
+func adviseLazy(p Profile, th Thresholds, path []string, step func(string)) Advice {
+	if p.Dupe >= th.DupeHighMin {
+		step("key duplication: high")
+		if p.Cores >= th.CoresLargeMin {
+			step("number of cores: large")
+			return Advice{Algorithm: "MPASS", Path: path}
+		}
+		step("number of cores: small")
+		return Advice{Algorithm: "MWAY", Path: path}
+	}
+	step("key duplication: low")
+	if p.KeySkew < th.SkewHighMin && p.Tuples >= th.TuplesLargeMin {
+		step("key skewness low and join large")
+		return Advice{Algorithm: "PRJ", Path: path}
+	}
+	step("key skewness high or join small")
+	return Advice{Algorithm: "NPJ", Path: path}
+}

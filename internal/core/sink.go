@@ -1,0 +1,50 @@
+package core
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/tuple"
+)
+
+// MatchBatch is how many matches/probes a worker records between clock
+// samples when timestamping matches; it bounds the measurement overhead
+// the way the paper keeps its RDTSC overhead below 5% of execution time.
+const MatchBatch = 1024
+
+// Sink records join matches for one worker thread: it timestamps matches
+// with a batched clock sample, computes the paper's latency definition
+// (emission time minus the larger input arrival timestamp), and forwards
+// materialized results when the run requests them. A Sink must only be
+// used by its owning goroutine.
+type Sink struct {
+	ctx *ExecContext
+	tm  *metrics.ThreadMetrics
+
+	nowMs   int64
+	pending int
+}
+
+// NewSink creates the sink for worker tid.
+func NewSink(ctx *ExecContext, tid int) *Sink {
+	return &Sink{ctx: ctx, tm: ctx.M.T(tid), nowMs: ctx.Clock.NowMs()}
+}
+
+// Match records one match between r and s.
+func (k *Sink) Match(r, s tuple.Tuple) {
+	last := r.TS
+	if s.TS > last {
+		last = s.TS
+	}
+	k.tm.Matches(1, k.nowMs, last)
+	if k.ctx.Emit != nil {
+		k.ctx.Emit(tuple.ResultOf(r, s))
+	}
+	k.pending++
+	if k.pending >= MatchBatch {
+		k.pending = 0
+		k.nowMs = k.ctx.Clock.NowMs()
+	}
+}
+
+// Refresh resamples the clock; call between probe batches so match
+// timestamps stay current even when few matches are produced.
+func (k *Sink) Refresh() { k.nowMs = k.ctx.Clock.NowMs() }

@@ -1,0 +1,283 @@
+package eager
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/tuple"
+)
+
+func expected(r, s tuple.Relation) int64 {
+	freq := map[int32]int64{}
+	for _, x := range r {
+		freq[x.Key]++
+	}
+	var n int64
+	for _, x := range s {
+		n += freq[x.Key]
+	}
+	return n
+}
+
+func staticRun(t *testing.T, alg core.Algorithm, w gen.Workload, threads int, knobs core.Knobs) int64 {
+	t.Helper()
+	res, err := core.Run(alg, w.R, w.S, w.WindowMs, core.RunConfig{
+		Threads: threads, AtRest: true, Knobs: knobs,
+	})
+	if err != nil {
+		t.Fatalf("%s: %v", alg.Name(), err)
+	}
+	return res.Matches
+}
+
+func TestSHJJBGroupSizes(t *testing.T) {
+	w := gen.MicroStatic(3000, 3000, 8, 0.3, 17)
+	want := expected(w.R, w.S)
+	for _, threads := range []int{2, 4, 8} {
+		for _, g := range []int{1, 2, 4} {
+			if g > threads {
+				continue
+			}
+			t.Run(fmt.Sprintf("threads=%d/g=%d", threads, g), func(t *testing.T) {
+				got := staticRun(t, SHJ{JB: true}, w, threads, core.Knobs{GroupSize: g})
+				if got != want {
+					t.Fatalf("matches = %d, want %d", got, want)
+				}
+			})
+		}
+	}
+}
+
+func TestSHJGroupSizeTooLarge(t *testing.T) {
+	w := gen.MicroStatic(100, 100, 1, 0, 1)
+	_, err := core.Run(SHJ{JB: true}, w.R, w.S, 0, core.RunConfig{
+		Threads: 2, AtRest: true, Knobs: core.Knobs{GroupSize: 8},
+	})
+	if err == nil {
+		t.Fatal("group size beyond threads must error")
+	}
+}
+
+func TestPMJGroupSizeTooLarge(t *testing.T) {
+	w := gen.MicroStatic(100, 100, 1, 0, 1)
+	_, err := core.Run(PMJ{JB: true}, w.R, w.S, 0, core.RunConfig{
+		Threads: 2, AtRest: true, Knobs: core.Knobs{GroupSize: 8},
+	})
+	if err == nil {
+		t.Fatal("group size beyond threads must error")
+	}
+}
+
+func TestPMJSortStepVariationsAgree(t *testing.T) {
+	w := gen.MicroStatic(5000, 5000, 10, 0, 23)
+	want := expected(w.R, w.S)
+	for _, delta := range []float64{0.05, 0.1, 0.2, 0.5, 0.9} {
+		for _, jb := range []bool{false, true} {
+			got := staticRun(t, PMJ{JB: jb}, w, 3, core.Knobs{SortStepFrac: delta})
+			if got != want {
+				t.Fatalf("jb=%v δ=%.2f: matches = %d, want %d", jb, delta, got, want)
+			}
+		}
+	}
+}
+
+func TestPhysicalPartitioningEquivalence(t *testing.T) {
+	w := gen.MicroStatic(4000, 4000, 6, 0.2, 31)
+	want := expected(w.R, w.S)
+	for _, alg := range []core.Algorithm{SHJ{}, SHJ{JB: true}, PMJ{}, PMJ{JB: true}} {
+		for _, phys := range []bool{false, true} {
+			got := staticRun(t, alg, w, 4, core.Knobs{PhysicalPartition: phys})
+			if got != want {
+				t.Fatalf("%s physical=%v: matches = %d, want %d", alg.Name(), phys, got, want)
+			}
+		}
+	}
+}
+
+func TestEagerSingleThread(t *testing.T) {
+	w := gen.MicroStatic(2000, 2000, 4, 0, 5)
+	want := expected(w.R, w.S)
+	for _, alg := range []core.Algorithm{SHJ{}, SHJ{JB: true}, PMJ{}, PMJ{JB: true}, Handshake{}} {
+		got := staticRun(t, alg, w, 1, core.Knobs{})
+		if got != want {
+			t.Fatalf("%s single-thread: matches = %d, want %d", alg.Name(), got, want)
+		}
+	}
+}
+
+func TestEagerAsymmetricSizes(t *testing.T) {
+	// R tiny, S large (YSB shape) and the reverse.
+	for _, sizes := range [][2]int{{50, 5000}, {5000, 50}, {0, 100}, {100, 0}} {
+		w := gen.MicroStatic(sizes[0], sizes[1], 3, 0, 7)
+		want := expected(w.R, w.S)
+		for _, alg := range []core.Algorithm{SHJ{}, PMJ{JB: true}} {
+			got := staticRun(t, alg, w, 3, core.Knobs{})
+			if got != want {
+				t.Fatalf("%s sizes=%v: matches = %d, want %d", alg.Name(), sizes, got, want)
+			}
+		}
+	}
+}
+
+func TestEagerStreamingGatedArrival(t *testing.T) {
+	// With a streaming clock the eager algorithms must still find every
+	// match even though tuples trickle in.
+	w := gen.Micro(gen.MicroConfig{RateR: 50, RateS: 50, WindowMs: 50, Dupe: 5, Seed: 3})
+	want := expected(w.R, w.S)
+	for _, alg := range []core.Algorithm{SHJ{}, SHJ{JB: true}, PMJ{}, PMJ{JB: true}} {
+		res, err := core.Run(alg, w.R, w.S, w.WindowMs, core.RunConfig{
+			Threads: 2, NsPerSimMs: 5000, // 5µs per simulated ms
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		if res.Matches != want {
+			t.Fatalf("%s streaming: matches = %d, want %d", alg.Name(), res.Matches, want)
+		}
+		if res.PhaseNs[0] < 0 {
+			t.Fatal("wait phase must be non-negative")
+		}
+	}
+}
+
+func TestDistributionOwnership(t *testing.T) {
+	// Every S tuple must be owned by exactly one worker; every R tuple by
+	// the right number (all workers for JM, one group's workers for JB).
+	const threads = 4
+	tuples := make(tuple.Relation, 100)
+	for i := range tuples {
+		tuples[i] = tuple.Tuple{Key: int32(i * 31 % 17)}
+	}
+	t.Run("JM", func(t *testing.T) {
+		dists := make([]*distribution, threads)
+		for tid := range dists {
+			dists[tid] = newJM(threads, tid)
+		}
+		for i, x := range tuples {
+			rOwners, sOwners := 0, 0
+			for _, d := range dists {
+				if d.ownsR(i, x) {
+					rOwners++
+				}
+				if d.ownsS(i, x) {
+					sOwners++
+				}
+			}
+			if rOwners != threads {
+				t.Fatalf("JM must replicate R to all workers, got %d", rOwners)
+			}
+			if sOwners != 1 {
+				t.Fatalf("JM must partition S to one worker, got %d", sOwners)
+			}
+		}
+	})
+	for _, g := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("JB/g=%d", g), func(t *testing.T) {
+			dists := make([]*distribution, threads)
+			for tid := range dists {
+				dists[tid] = newJB(threads, tid, g)
+			}
+			for i, x := range tuples {
+				rOwners, sOwners := 0, 0
+				for _, d := range dists {
+					if d.ownsR(i, x) {
+						rOwners++
+					}
+					if d.ownsS(i, x) {
+						sOwners++
+					}
+				}
+				if rOwners != g {
+					t.Fatalf("JB g=%d must replicate R to the group, got %d", g, rOwners)
+				}
+				if sOwners != 1 {
+					t.Fatalf("JB must partition S to one worker, got %d", sOwners)
+				}
+			}
+		})
+	}
+}
+
+func TestJBStatusMaintenance(t *testing.T) {
+	d := newJB(4, 0, 2)
+	for i := 0; i < 50; i++ {
+		d.ownsR(i, tuple.Tuple{Key: int32(i % 10)})
+	}
+	if len(d.status) != 10 {
+		t.Fatalf("router status must track dispatched keys: %d", len(d.status))
+	}
+	if d.statusBytes() == 0 {
+		t.Fatal("status bytes must be accounted")
+	}
+	jm := newJM(4, 0)
+	if jm.statusBytes() != 0 {
+		t.Fatal("JM keeps no router status")
+	}
+}
+
+func TestCursorBatchGating(t *testing.T) {
+	rel := tuple.Relation{{TS: 0}, {TS: 5}, {TS: 10}}
+	c := &cursor{rel: rel}
+	all := func(int, tuple.Tuple) bool { return true }
+	buf, waiting := c.batch(nil, 10, 4, false, all, false)
+	if len(buf) != 1 || !waiting {
+		t.Fatalf("at t=4 only ts=0 has arrived: got %d waiting=%v", len(buf), waiting)
+	}
+	buf, waiting = c.batch(buf[:0], 10, 100, false, all, false)
+	if len(buf) != 2 || waiting {
+		t.Fatalf("at t=100 the rest must arrive: got %d waiting=%v", len(buf), waiting)
+	}
+	if !c.done() {
+		t.Fatal("cursor must be exhausted")
+	}
+}
+
+func TestCursorBatchLimit(t *testing.T) {
+	rel := make(tuple.Relation, 100)
+	c := &cursor{rel: rel}
+	all := func(int, tuple.Tuple) bool { return true }
+	buf, _ := c.batch(nil, 7, 0, true, all, true)
+	if len(buf) != 7 {
+		t.Fatalf("batch must respect max: %d", len(buf))
+	}
+}
+
+func TestPMJSpillToDisk(t *testing.T) {
+	w := gen.MicroStatic(6000, 6000, 10, 0.2, 41)
+	want := expected(w.R, w.S)
+	dir := t.TempDir()
+	for _, jb := range []bool{false, true} {
+		res, err := core.Run(PMJ{JB: jb}, w.R, w.S, 0, core.RunConfig{
+			Threads: 2, AtRest: true,
+			Knobs: core.Knobs{SortStepFrac: 0.1, SpillDir: dir},
+		})
+		if err != nil {
+			t.Fatalf("jb=%v: %v", jb, err)
+		}
+		if res.Matches != want {
+			t.Fatalf("jb=%v: matches = %d, want %d", jb, res.Matches, want)
+		}
+	}
+	// Spill files must be cleaned up after the run.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("%d spill files left behind", len(entries))
+	}
+}
+
+func TestPMJSpillBadDir(t *testing.T) {
+	w := gen.MicroStatic(500, 500, 2, 0, 1)
+	_, err := core.Run(PMJ{}, w.R, w.S, 0, core.RunConfig{
+		Threads: 1, AtRest: true,
+		Knobs: core.Knobs{SpillDir: "/nonexistent-dir-for-sure"},
+	})
+	if err == nil {
+		t.Fatal("unwritable spill dir must surface an error")
+	}
+}

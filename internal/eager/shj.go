@@ -1,0 +1,153 @@
+package eager
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hashtable"
+	"repro/internal/metrics"
+	"repro/internal/tuple"
+)
+
+// SHJ is the Symmetric Hash Join combined with a stream distribution
+// scheme. Each worker maintains two hash tables, one per input stream;
+// receiving a tuple from R (or S) it inserts it into the R (S) table and
+// immediately probes the opposite table (Figure 1a). The JM scheme
+// replicates R and round-robins S (content-insensitive); the JB scheme
+// routes keys to core groups (content-sensitive).
+type SHJ struct {
+	// JB selects the join-biclique scheme; false selects join-matrix.
+	JB bool
+}
+
+// Name implements core.Algorithm.
+func (a SHJ) Name() string {
+	if a.JB {
+		return "SHJ_JB"
+	}
+	return "SHJ_JM"
+}
+
+// Approach implements core.Algorithm.
+func (SHJ) Approach() core.Approach { return core.Eager }
+
+// Method implements core.Algorithm.
+func (SHJ) Method() core.JoinMethod { return core.HashJoin }
+
+// validate rejects impossible knob combinations before spawning workers.
+func (SHJ) validate(ctx *core.ExecContext) error {
+	if g := ctx.Knobs.GroupSize; g > ctx.Threads {
+		return fmt.Errorf("eager: group size %d exceeds %d threads", g, ctx.Threads)
+	}
+	return nil
+}
+
+// Run implements core.Algorithm.
+func (a SHJ) Run(ctx *core.ExecContext) error {
+	if err := a.validate(ctx); err != nil {
+		return err
+	}
+	atRest := ctx.Clock.AtRest()
+	bsz := batchSize(ctx)
+
+	parallel(ctx.Threads, func(tid int) {
+		tm := ctx.M.T(tid)
+		pt := phaseTimer{tm: tm, ctx: ctx}
+		dist := makeDist(a.JB, ctx, tid)
+		sink := core.NewSink(ctx, tid)
+
+		rtab := hashtable.New(len(ctx.R)/maxInt(1, dist.estOwnersR(ctx)) + 16)
+		stab := hashtable.New(len(ctx.S)/ctx.Threads + 16)
+		if ctx.Tracer != nil {
+			rtab.SetTracer(ctx.Tracer, uint64(tid)<<40|1<<48)
+			stab.SetTracer(ctx.Tracer, uint64(tid)<<40|1<<49)
+		}
+		memLast := rtab.MemBytes() + stab.MemBytes()
+		ctx.M.MemAdd(memLast)
+
+		rcur := &cursor{rel: ctx.R, tracer: ctx.Tracer, base: 1 << 46}
+		scur := &cursor{rel: ctx.S, tracer: ctx.Tracer, base: 1<<46 | 1<<45}
+		rbuf := make([]tuple.Tuple, 0, bsz)
+		sbuf := make([]tuple.Tuple, 0, bsz)
+		rounds := 0
+
+		for !rcur.done() || !scur.done() {
+			now := ctx.NowMs()
+			sink.Refresh()
+			var rWaiting, sWaiting bool
+
+			// Pull a batch from R: insert into the R table, probe the
+			// S table (interleaved build and probe).
+			pt.time(metrics.PhasePartition, func() {
+				rbuf, rWaiting = rcur.batch(rbuf[:0], bsz, now, atRest, dist.ownsR, ctx.Knobs.PhysicalPartition)
+			})
+			if len(rbuf) > 0 {
+				pt.time(metrics.PhaseBuildSort, func() {
+					for _, r := range rbuf {
+						rtab.Insert(r)
+					}
+				})
+				pt.time(metrics.PhaseProbe, func() {
+					for _, r := range rbuf {
+						rv := r
+						stab.Probe(r.Key, func(s tuple.Tuple) { sink.Match(rv, s) })
+					}
+				})
+			}
+
+			// Then alternate: pull a batch from S.
+			pt.time(metrics.PhasePartition, func() {
+				sbuf, sWaiting = scur.batch(sbuf[:0], bsz, now, atRest, dist.ownsS, ctx.Knobs.PhysicalPartition)
+			})
+			if len(sbuf) > 0 {
+				pt.time(metrics.PhaseBuildSort, func() {
+					for _, s := range sbuf {
+						stab.Insert(s)
+					}
+				})
+				pt.time(metrics.PhaseProbe, func() {
+					for _, s := range sbuf {
+						sv := s
+						rtab.Probe(s.Key, func(r tuple.Tuple) { sink.Match(r, sv) })
+					}
+				})
+			}
+
+			if len(rbuf) == 0 && len(sbuf) == 0 && (rWaiting || sWaiting) {
+				// Consumed faster than arrival: the worker stalls.
+				pt.time(metrics.PhaseWait, func() { time.Sleep(stall) })
+			}
+
+			rounds++
+			if rounds&0xff == 0 || (rcur.done() && scur.done()) {
+				mem := rtab.MemBytes() + stab.MemBytes() + dist.statusBytes()
+				ctx.M.MemAdd(mem - memLast)
+				memLast = mem
+				if tid == 0 {
+					ctx.M.MemSampleNow(ctx.NowMs())
+				}
+			}
+		}
+		tm.End()
+	})
+	ctx.M.MemSampleNow(ctx.NowMs())
+	return nil
+}
+
+// estOwnersR estimates how many workers share each R tuple, to size the
+// per-worker R table: JM replicates R to all workers (1 owner share each),
+// JB splits R across groups.
+func (d *distribution) estOwnersR(ctx *core.ExecContext) int {
+	if d.groups == 0 {
+		return 1
+	}
+	return d.groups
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

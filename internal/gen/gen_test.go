@@ -1,0 +1,209 @@
+package gen
+
+import (
+	"testing"
+)
+
+func TestMicroSizesAndOrder(t *testing.T) {
+	w := Micro(MicroConfig{RateR: 10, RateS: 20, WindowMs: 50, Seed: 1})
+	if len(w.R) != 500 || len(w.S) != 1000 {
+		t.Fatalf("sizes |R|=%d |S|=%d, want 500/1000", len(w.R), len(w.S))
+	}
+	if !w.R.SortedByTS() || !w.S.SortedByTS() {
+		t.Fatal("streams must be time ordered")
+	}
+	if w.R.MaxTS() >= 50 {
+		t.Fatalf("timestamps must stay within the window: max=%d", w.R.MaxTS())
+	}
+	if w.AtRest {
+		t.Fatal("Micro is a streaming workload")
+	}
+}
+
+func TestMicroDefaults(t *testing.T) {
+	w := Micro(MicroConfig{})
+	if len(w.R) == 0 || len(w.S) == 0 || w.WindowMs != 1000 {
+		t.Fatalf("defaults broken: |R|=%d window=%d", len(w.R), w.WindowMs)
+	}
+}
+
+func TestMicroDupe(t *testing.T) {
+	w := Micro(MicroConfig{RateR: 100, RateS: 100, WindowMs: 100, Dupe: 10, Seed: 2})
+	s := w.R.Summarize()
+	if s.Dupe < 5 || s.Dupe > 20 {
+		t.Fatalf("dupe = %.1f, want ~10", s.Dupe)
+	}
+}
+
+func TestMicroUniqueKeys(t *testing.T) {
+	w := Micro(MicroConfig{RateR: 50, RateS: 50, WindowMs: 100, Dupe: 1, Seed: 3})
+	s := w.R.Summarize()
+	if s.Dupe != 1 {
+		t.Fatalf("dupe = %.2f, want exactly 1 (unique permutation)", s.Dupe)
+	}
+}
+
+func TestMicroTimestampSkewConcentratesEarly(t *testing.T) {
+	uniform := Micro(MicroConfig{RateR: 100, RateS: 100, WindowMs: 100, Seed: 4})
+	skewed := Micro(MicroConfig{RateR: 100, RateS: 100, WindowMs: 100, TSSkew: 1.6, Seed: 4})
+	countEarly := func(w Workload) int {
+		n := 0
+		for _, tp := range w.R {
+			if tp.TS < 10 {
+				n++
+			}
+		}
+		return n
+	}
+	if countEarly(skewed) <= countEarly(uniform)*2 {
+		t.Fatalf("skew_ts=1.6 must concentrate arrivals early: uniform=%d skewed=%d",
+			countEarly(uniform), countEarly(skewed))
+	}
+	if !skewed.R.SortedByTS() {
+		t.Fatal("skewed stream must still be time ordered")
+	}
+}
+
+func TestMicroKeySkewIncreasesHotness(t *testing.T) {
+	flat := Micro(MicroConfig{RateR: 200, RateS: 200, WindowMs: 100, Dupe: 10, Seed: 5})
+	hot := Micro(MicroConfig{RateR: 200, RateS: 200, WindowMs: 100, Dupe: 10, KeySkew: 1.4, Seed: 5})
+	maxFreq := func(w Workload) int {
+		freq := map[int32]int{}
+		m := 0
+		for _, tp := range w.R {
+			freq[tp.Key]++
+			if freq[tp.Key] > m {
+				m = freq[tp.Key]
+			}
+		}
+		return m
+	}
+	if maxFreq(hot) <= maxFreq(flat) {
+		t.Fatalf("key skew must create hotter keys: flat=%d hot=%d", maxFreq(flat), maxFreq(hot))
+	}
+}
+
+func TestMicroStatic(t *testing.T) {
+	w := MicroStatic(100, 200, 2, 0, 6)
+	if !w.AtRest {
+		t.Fatal("MicroStatic must be at rest")
+	}
+	if len(w.R) != 100 || len(w.S) != 200 {
+		t.Fatalf("sizes: %d/%d", len(w.R), len(w.S))
+	}
+	if w.R.MaxTS() != 0 {
+		t.Fatal("static tuples must carry timestamp 0")
+	}
+}
+
+func TestStockShape(t *testing.T) {
+	w := Stock(0.02, 1)
+	if w.AtRest {
+		t.Fatal("Stock streams in motion")
+	}
+	if !w.R.SortedByTS() || !w.S.SortedByTS() {
+		t.Fatal("stock streams must be time ordered")
+	}
+	// Spiky arrivals: the busiest millisecond should hold far more than
+	// the average.
+	counts := map[int64]int{}
+	for _, tp := range w.R {
+		counts[tp.TS]++
+	}
+	max, sum := 0, 0
+	for _, c := range counts {
+		sum += c
+		if c > max {
+			max = c
+		}
+	}
+	avg := sum / len(counts)
+	if max < 3*avg {
+		t.Fatalf("expected arrival spikes: max=%d avg=%d", max, avg)
+	}
+}
+
+func TestRovioShape(t *testing.T) {
+	w := Rovio(0.01, 1)
+	r := w.R.Summarize()
+	// Extreme duplication: the key domain must be tiny relative to the
+	// stream.
+	if r.Dupe < 50 {
+		t.Fatalf("Rovio demands extreme key duplication, got dupe=%.1f", r.Dupe)
+	}
+}
+
+func TestYSBShape(t *testing.T) {
+	w := YSB(0.02, 1)
+	rs, ss := w.R.Summarize(), w.S.Summarize()
+	if rs.Dupe != 1 {
+		t.Fatalf("YSB campaigns table must have unique keys, dupe=%.2f", rs.Dupe)
+	}
+	if ss.Dupe < 10 {
+		t.Fatalf("YSB ad stream must have high duplication, dupe=%.2f", ss.Dupe)
+	}
+	if w.R.MaxTS() != 0 {
+		t.Fatal("YSB campaigns table is at rest (ts=0)")
+	}
+	// Every ad event references an existing campaign.
+	keys := map[int32]bool{}
+	for _, tp := range w.R {
+		keys[tp.Key] = true
+	}
+	for _, tp := range w.S {
+		if !keys[tp.Key] {
+			t.Fatal("ad event references unknown campaign")
+		}
+	}
+}
+
+func TestDEBSShape(t *testing.T) {
+	w := DEBS(0.01, 1)
+	if !w.AtRest {
+		t.Fatal("DEBS is data at rest")
+	}
+	if len(w.S) <= len(w.R) {
+		t.Fatalf("|S| (%d) must exceed |R| (%d)", len(w.S), len(w.R))
+	}
+	ss := w.S.Summarize()
+	if ss.Dupe < 100 {
+		t.Fatalf("DEBS comments must have high duplication, dupe=%.1f", ss.Dupe)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		w, err := ByName(name, 0.005, 1)
+		if err != nil {
+			t.Fatalf("ByName(%s): %v", name, err)
+		}
+		if w.Name != name {
+			t.Fatalf("ByName(%s) returned %s", name, w.Name)
+		}
+	}
+	if _, err := ByName("nope", 1, 1); err == nil {
+		t.Fatal("expected error for unknown workload")
+	}
+}
+
+func TestScaledWindowPreservesRates(t *testing.T) {
+	// Scaling the workload must keep arrival rates near the published
+	// values by shrinking the window with the tuple counts.
+	for _, sc := range []Scale{0.01, 0.05, 0.2} {
+		w := Rovio(sc, 1)
+		s := w.R.Summarize()
+		if s.Rate < 1500 || s.Rate > 6000 {
+			t.Fatalf("scale %v: Rovio rate %.0f t/ms should stay near 3000", sc, s.Rate)
+		}
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a := Micro(MicroConfig{RateR: 20, RateS: 20, WindowMs: 50, Dupe: 3, KeySkew: 0.5, Seed: 9})
+	b := Micro(MicroConfig{RateR: 20, RateS: 20, WindowMs: 50, Dupe: 3, KeySkew: 0.5, Seed: 9})
+	for i := range a.R {
+		if a.R[i] != b.R[i] {
+			t.Fatal("same seed must reproduce the same workload")
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package hashtable
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/tuple"
+)
+
+func benchTuples(n, domain int) []tuple.Tuple {
+	rng := rand.New(rand.NewPCG(1, 2))
+	out := make([]tuple.Tuple, n)
+	for i := range out {
+		out[i] = tuple.Tuple{Key: int32(rng.IntN(domain)), Payload: int32(i)}
+	}
+	return out
+}
+
+func BenchmarkInsertUnique(b *testing.B) {
+	tuples := benchTuples(100_000, 100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab := New(len(tuples))
+		for _, x := range tuples {
+			tab.Insert(x)
+		}
+	}
+	b.SetBytes(int64(len(tuples)) * 16)
+}
+
+func BenchmarkInsertHighDupe(b *testing.B) {
+	// dupe ~1000: the chain-heavy regime of Rovio/DEBS. Insert must stay
+	// O(1) per tuple (head insertion), not O(chain).
+	tuples := benchTuples(100_000, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab := New(len(tuples))
+		for _, x := range tuples {
+			tab.Insert(x)
+		}
+	}
+	b.SetBytes(int64(len(tuples)) * 16)
+}
+
+func BenchmarkProbeUnique(b *testing.B) {
+	tuples := benchTuples(100_000, 100_000)
+	tab := New(len(tuples))
+	for _, x := range tuples {
+		tab.Insert(x)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, x := range tuples {
+			tab.Probe(x.Key, nil)
+		}
+	}
+	b.SetBytes(int64(len(tuples)) * 16)
+}
+
+func BenchmarkProbeHighDupe(b *testing.B) {
+	// The long chain walks the paper attributes PRJ/NPJ's probe cost to.
+	tuples := benchTuples(20_000, 50)
+	tab := New(len(tuples))
+	for _, x := range tuples {
+		tab.Insert(x)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, x := range tuples[:1000] {
+			tab.Probe(x.Key, nil)
+		}
+	}
+}
+
+func BenchmarkSharedInsertParallel(b *testing.B) {
+	tuples := benchTuples(100_000, 1000)
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		tab := NewShared(len(tuples))
+		for pb.Next() {
+			tab.Insert(tuples[i%len(tuples)])
+			i++
+		}
+	})
+}

@@ -1,0 +1,308 @@
+// Package hashtable implements the bucket-chain hash tables used by the
+// hash-based join algorithms.
+//
+// The layout follows the bucket-chain design of the Balkesen et al.
+// benchmark that the paper builds on: fixed-capacity buckets of tuples
+// with overflow chaining. Three flavours cover the studied algorithms:
+//
+//   - Table: single-writer table (per-thread SHJ state, per-partition PRJ
+//     joins).
+//   - Shared: one table concurrently populated by all threads with
+//     per-bucket latches (NPJ's build phase), exhibiting exactly the access
+//     conflicts the paper attributes to NPJ under high key duplication.
+//
+// Both variants accept an optional cachesim.Tracer so profile runs can feed
+// the simulated cache hierarchy with the table's logical addresses.
+package hashtable
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cachesim"
+	"repro/internal/tuple"
+)
+
+// bucketCap tuples per bucket: 4 entries * 16 bytes + header fits the
+// cache-line-conscious layout of the original benchmark.
+const bucketCap = 4
+
+// bucketBytes is the logical footprint of one bucket, used to synthesize
+// addresses for the cache simulator and for memory accounting.
+const bucketBytes = 80
+
+type bucket struct {
+	n      int32
+	tuples [bucketCap]tuple.Tuple
+	next   *bucket
+}
+
+// Hash is the multiplicative hash shared by all hash-based algorithms so
+// partitioning and table placement agree.
+func Hash(key int32) uint32 {
+	x := uint32(key)
+	x ^= x >> 16
+	x *= 0x45d9f3b
+	x ^= x >> 16
+	return x
+}
+
+// Table is a single-writer bucket-chain hash table.
+type Table struct {
+	buckets []bucket
+	mask    uint32
+	size    int64 // tuples stored
+	extra   int64 // overflow buckets allocated
+
+	tracer cachesim.Tracer
+	base   uint64 // logical base address for tracing
+}
+
+// New creates a table with capacity hint n tuples. The bucket directory is
+// sized to roughly one bucket per expected tuple pair, rounded to a power
+// of two, as in the original benchmark.
+func New(n int) *Table {
+	nb := nextPow2(n/2 + 1)
+	return &Table{buckets: make([]bucket, nb), mask: uint32(nb - 1)}
+}
+
+// SetTracer attaches a cache-simulation tracer; base distinguishes this
+// table's address space from other structures in the same profile run.
+func (t *Table) SetTracer(tr cachesim.Tracer, base uint64) {
+	t.tracer = tr
+	t.base = base
+}
+
+// Insert adds a tuple in O(1): when the head bucket fills up, its
+// contents move to a fresh overflow bucket pushed onto the chain and the
+// head restarts empty — the head-insertion scheme of the original
+// bucket-chain design. High key duplication still produces long chains,
+// whose cost is paid where the paper measures it: during probe walks.
+func (t *Table) Insert(x tuple.Tuple) {
+	idx := Hash(x.Key) & t.mask
+	b := &t.buckets[idx]
+	if t.tracer != nil {
+		t.tracer.Access(t.base + uint64(idx)*bucketBytes)
+		t.tracer.Op(4)
+	}
+	if b.n == bucketCap {
+		nb := &bucket{}
+		*nb = *b
+		b.next = nb
+		b.n = 0
+		t.extra++
+		if t.tracer != nil {
+			t.tracer.Access(t.base + uint64(idx)*bucketBytes + uint64(t.extra)*(1<<20))
+			t.tracer.Op(4)
+		}
+	}
+	b.tuples[b.n] = x
+	b.n++
+	t.size++
+}
+
+// Probe walks the chain for key and calls emit for every stored tuple with
+// that key. It returns the number of matches.
+func (t *Table) Probe(key int32, emit func(tuple.Tuple)) int {
+	idx := Hash(key) & t.mask
+	b := &t.buckets[idx]
+	if t.tracer != nil {
+		t.tracer.Access(t.base + uint64(idx)*bucketBytes)
+		t.tracer.Op(4)
+	}
+	matches := 0
+	hop := uint64(0)
+	for b != nil {
+		for i := int32(0); i < b.n; i++ {
+			if b.tuples[i].Key == key {
+				matches++
+				if emit != nil {
+					emit(b.tuples[i])
+				}
+			}
+		}
+		if t.tracer != nil {
+			t.tracer.Op(uint64(b.n) + 1)
+		}
+		b = b.next
+		hop++
+		if b != nil && t.tracer != nil {
+			t.tracer.Access(t.base + uint64(idx)*bucketBytes + hop*(1<<20))
+		}
+	}
+	return matches
+}
+
+// Size returns the number of stored tuples.
+func (t *Table) Size() int64 { return t.size }
+
+// MemBytes reports the logical memory footprint of the table, used for the
+// Figure 19b memory-consumption timeline.
+func (t *Table) MemBytes() int64 {
+	return int64(len(t.buckets))*bucketBytes + t.extra*bucketBytes
+}
+
+// Shared is a bucket-chain table concurrently populated by many threads.
+// Per-bucket latches serialize inserts to the same chain, reproducing
+// NPJ's access-conflict behaviour on skewed or high-duplication keys.
+type Shared struct {
+	buckets []sharedBucket
+	mask    uint32
+	size    atomic.Int64
+	extra   atomic.Int64
+
+	// tracer feeds profile runs; those run single-threaded, so the
+	// tracer itself needs no synchronization.
+	tracer cachesim.Tracer
+	base   uint64
+}
+
+// SetTracer attaches a cache-simulation tracer. Only set it for
+// single-threaded profile runs: the tracer is called under the bucket
+// latch on insert but latch-free on probe.
+func (t *Shared) SetTracer(tr cachesim.Tracer, base uint64) {
+	t.tracer = tr
+	t.base = base
+}
+
+type sharedBucket struct {
+	mu sync.Mutex
+	bucket
+}
+
+// NewShared creates a concurrently writable table sized for n tuples.
+func NewShared(n int) *Shared {
+	nb := nextPow2(n/2 + 1)
+	return &Shared{buckets: make([]sharedBucket, nb), mask: uint32(nb - 1)}
+}
+
+// Insert adds a tuple under the bucket latch with the same O(1)
+// head-insertion scheme as Table.Insert.
+func (t *Shared) Insert(x tuple.Tuple) {
+	idx := Hash(x.Key) & t.mask
+	sb := &t.buckets[idx]
+	sb.mu.Lock()
+	b := &sb.bucket
+	if t.tracer != nil {
+		t.tracer.Access(t.base + uint64(idx)*bucketBytes)
+		t.tracer.Op(6) // hash + latch + store
+	}
+	if b.n == bucketCap {
+		nb := &bucket{}
+		*nb = *b
+		b.next = nb
+		b.n = 0
+		t.extra.Add(1)
+		if t.tracer != nil {
+			t.tracer.Access(t.base + uint64(idx)*bucketBytes + uint64(t.extra.Load())*(1<<20))
+			t.tracer.Op(4)
+		}
+	}
+	b.tuples[b.n] = x
+	b.n++
+	sb.mu.Unlock()
+	t.size.Add(1)
+}
+
+// Probe is latch-free: the build and probe phases are separated by a
+// barrier (as in NPJ), so probes observe a quiesced table.
+func (t *Shared) Probe(key int32, emit func(tuple.Tuple)) int {
+	idx := Hash(key) & t.mask
+	b := &t.buckets[idx].bucket
+	matches := 0
+	hop := uint64(0)
+	for bb := b; bb != nil; bb = bb.next {
+		if t.tracer != nil {
+			t.tracer.Access(t.base + uint64(idx)*bucketBytes + hop*(1<<20))
+			t.tracer.Op(uint64(bb.n) + 1)
+		}
+		for i := int32(0); i < bb.n; i++ {
+			if bb.tuples[i].Key == key {
+				matches++
+				if emit != nil {
+					emit(bb.tuples[i])
+				}
+			}
+		}
+		hop++
+	}
+	return matches
+}
+
+// Size returns the number of stored tuples.
+func (t *Shared) Size() int64 { return t.size.Load() }
+
+// MemBytes reports the logical footprint.
+func (t *Shared) MemBytes() int64 {
+	return int64(len(t.buckets))*bucketBytes + t.extra.Load()*bucketBytes
+}
+
+// LockFree is an alternative shared table for the NPJ build-phase
+// ablation: instead of per-bucket latches it maintains one Treiber-style
+// node chain per bucket, inserted with compare-and-swap. It trades the
+// latch serialization for per-tuple allocations and pointer chasing —
+// measuring which effect dominates is the point of the ablation.
+type LockFree struct {
+	heads []atomic.Pointer[lfNode]
+	mask  uint32
+	size  atomic.Int64
+}
+
+type lfNode struct {
+	t    tuple.Tuple
+	next *lfNode
+}
+
+// NewLockFree creates a CAS-based shared table sized for n tuples.
+func NewLockFree(n int) *LockFree {
+	nb := nextPow2(n/2 + 1)
+	return &LockFree{heads: make([]atomic.Pointer[lfNode], nb), mask: uint32(nb - 1)}
+}
+
+// Insert pushes the tuple onto its bucket's chain with a CAS loop.
+func (t *LockFree) Insert(x tuple.Tuple) {
+	idx := Hash(x.Key) & t.mask
+	head := &t.heads[idx]
+	n := &lfNode{t: x}
+	for {
+		old := head.Load()
+		n.next = old
+		if head.CompareAndSwap(old, n) {
+			break
+		}
+	}
+	t.size.Add(1)
+}
+
+// Probe walks the chain for key; like Shared.Probe it assumes a quiesced
+// table (build and probe are separated by a barrier in NPJ).
+func (t *LockFree) Probe(key int32, emit func(tuple.Tuple)) int {
+	idx := Hash(key) & t.mask
+	matches := 0
+	for n := t.heads[idx].Load(); n != nil; n = n.next {
+		if n.t.Key == key {
+			matches++
+			if emit != nil {
+				emit(n.t)
+			}
+		}
+	}
+	return matches
+}
+
+// Size returns the number of stored tuples.
+func (t *LockFree) Size() int64 { return t.size.Load() }
+
+// MemBytes reports the logical footprint (directory plus one 24-byte node
+// per tuple).
+func (t *LockFree) MemBytes() int64 {
+	return int64(len(t.heads))*8 + t.size.Load()*24
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

@@ -1,0 +1,183 @@
+package hashtable
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tuple"
+)
+
+func TestInsertProbeRoundTrip(t *testing.T) {
+	tab := New(16)
+	tab.Insert(tuple.Tuple{TS: 1, Key: 42, Payload: 7})
+	var got []tuple.Tuple
+	n := tab.Probe(42, func(x tuple.Tuple) { got = append(got, x) })
+	if n != 1 || len(got) != 1 || got[0].Payload != 7 {
+		t.Fatalf("probe returned %d tuples: %v", n, got)
+	}
+	if tab.Probe(43, nil) != 0 {
+		t.Fatal("probe of absent key must find nothing")
+	}
+}
+
+func TestDuplicateKeysChain(t *testing.T) {
+	tab := New(4)
+	const dups = 100 // force overflow chains on one bucket
+	for i := 0; i < dups; i++ {
+		tab.Insert(tuple.Tuple{Key: 5, Payload: int32(i)})
+	}
+	if got := tab.Probe(5, nil); got != dups {
+		t.Fatalf("probe found %d, want %d", got, dups)
+	}
+	if tab.Size() != dups {
+		t.Fatalf("Size = %d, want %d", tab.Size(), dups)
+	}
+	if tab.MemBytes() <= int64(dups/bucketCap)*bucketBytes {
+		t.Fatal("overflow chains must grow the footprint")
+	}
+}
+
+// TestProbeMatchesMapSemantics checks the table against a reference map
+// under random workloads (property-based).
+func TestProbeMatchesMapSemantics(t *testing.T) {
+	f := func(keys []int32, probes []int32) bool {
+		tab := New(len(keys))
+		ref := map[int32]int{}
+		for i, k := range keys {
+			tab.Insert(tuple.Tuple{Key: k, Payload: int32(i)})
+			ref[k]++
+		}
+		for _, p := range probes {
+			if tab.Probe(p, nil) != ref[p] {
+				return false
+			}
+		}
+		for k, want := range ref {
+			if tab.Probe(k, nil) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharedConcurrentBuild(t *testing.T) {
+	const threads, perThread = 8, 2000
+	tab := NewShared(threads * perThread)
+	var wg sync.WaitGroup
+	for th := 0; th < threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(th), 99))
+			for i := 0; i < perThread; i++ {
+				tab.Insert(tuple.Tuple{Key: int32(rng.IntN(500)), Payload: int32(th)})
+			}
+		}(th)
+	}
+	wg.Wait()
+	if tab.Size() != threads*perThread {
+		t.Fatalf("Size = %d, want %d", tab.Size(), threads*perThread)
+	}
+	total := 0
+	for k := int32(0); k < 500; k++ {
+		total += tab.Probe(k, nil)
+	}
+	if total != threads*perThread {
+		t.Fatalf("probes found %d tuples, want %d", total, threads*perThread)
+	}
+	if tab.MemBytes() <= 0 {
+		t.Fatal("MemBytes must be positive")
+	}
+}
+
+func TestSharedMatchesUnsharedCounts(t *testing.T) {
+	keys := make([]int32, 5000)
+	rng := rand.New(rand.NewPCG(5, 6))
+	for i := range keys {
+		keys[i] = int32(rng.IntN(64)) // heavy duplication
+	}
+	single := New(len(keys))
+	shared := NewShared(len(keys))
+	for i, k := range keys {
+		single.Insert(tuple.Tuple{Key: k, Payload: int32(i)})
+		shared.Insert(tuple.Tuple{Key: k, Payload: int32(i)})
+	}
+	for k := int32(0); k < 64; k++ {
+		if single.Probe(k, nil) != shared.Probe(k, nil) {
+			t.Fatalf("count mismatch on key %d", k)
+		}
+	}
+}
+
+func TestHashSpreads(t *testing.T) {
+	// The multiplicative hash must not collapse sequential keys into few
+	// buckets.
+	seen := map[uint32]bool{}
+	for k := int32(0); k < 1024; k++ {
+		seen[Hash(k)&1023] = true
+	}
+	if len(seen) < 512 {
+		t.Fatalf("hash collapses sequential keys: %d distinct buckets of 1024", len(seen))
+	}
+}
+
+type countTracer struct {
+	accesses, ops uint64
+}
+
+func (c *countTracer) Access(uint64) { c.accesses++ }
+func (c *countTracer) Op(n uint64)   { c.ops += n }
+
+func TestTracerReceivesTraffic(t *testing.T) {
+	tab := New(8)
+	tr := &countTracer{}
+	tab.SetTracer(tr, 0)
+	for i := 0; i < 50; i++ {
+		tab.Insert(tuple.Tuple{Key: int32(i % 3), Payload: int32(i)})
+	}
+	tab.Probe(0, nil)
+	if tr.accesses == 0 || tr.ops == 0 {
+		t.Fatal("tracer must observe table traffic")
+	}
+}
+
+func TestLockFreeMatchesLatchedCounts(t *testing.T) {
+	keys := make([]int32, 4000)
+	rng := rand.New(rand.NewPCG(9, 10))
+	for i := range keys {
+		keys[i] = int32(rng.IntN(128))
+	}
+	latched := NewShared(len(keys))
+	lockfree := NewLockFree(len(keys))
+	var wg sync.WaitGroup
+	for th := 0; th < 4; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			for i := th; i < len(keys); i += 4 {
+				lockfree.Insert(tuple.Tuple{Key: keys[i], Payload: int32(i)})
+			}
+		}(th)
+	}
+	wg.Wait()
+	for i, k := range keys {
+		latched.Insert(tuple.Tuple{Key: k, Payload: int32(i)})
+	}
+	if lockfree.Size() != latched.Size() {
+		t.Fatalf("sizes differ: %d vs %d", lockfree.Size(), latched.Size())
+	}
+	for k := int32(0); k < 128; k++ {
+		if lockfree.Probe(k, nil) != latched.Probe(k, nil) {
+			t.Fatalf("count mismatch on key %d", k)
+		}
+	}
+	if lockfree.MemBytes() <= 0 {
+		t.Fatal("MemBytes must be positive")
+	}
+}

@@ -1,0 +1,176 @@
+// Package ingest moves tuple streams in and out of the process: a framed
+// binary wire protocol, a replayer that paces tuples according to their
+// arrival timestamps, and a TCP source/sink pair.
+//
+// The paper eliminates network transmission overhead by populating inputs
+// in memory before each run; this package is the adoption path around
+// that methodology — it lets a deployment feed recorded or live streams
+// into the same join algorithms, while the benchmark harness keeps using
+// in-memory inputs.
+package ingest
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"repro/internal/tuple"
+)
+
+// Stream tags identify which join input a connection carries.
+const (
+	TagR byte = 'R'
+	TagS byte = 'S'
+)
+
+// ErrBadTag reports a connection that did not start with TagR or TagS.
+var ErrBadTag = errors.New("ingest: connection must start with stream tag 'R' or 'S'")
+
+// WriteStream writes tag followed by length-delimited frames: each tuple
+// is one fixed 16-byte frame; closing the writer ends the stream.
+func WriteStream(w io.Writer, tag byte, rel tuple.Relation) error {
+	bw := bufio.NewWriter(w)
+	if err := bw.WriteByte(tag); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, tuple.BinarySize)
+	for _, t := range rel {
+		buf = tuple.AppendBinary(buf[:0], t)
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadStream consumes a tagged stream until EOF, returning the tag and
+// tuples. maxTuples bounds memory for untrusted peers (0 = no bound).
+func ReadStream(r io.Reader, maxTuples int) (byte, tuple.Relation, error) {
+	br := bufio.NewReader(r)
+	tag, err := br.ReadByte()
+	if err != nil {
+		return 0, nil, fmt.Errorf("ingest: reading tag: %w", err)
+	}
+	if tag != TagR && tag != TagS {
+		return 0, nil, ErrBadTag
+	}
+	var rel tuple.Relation
+	frame := make([]byte, tuple.BinarySize)
+	for {
+		if _, err := io.ReadFull(br, frame); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return tag, nil, fmt.Errorf("ingest: truncated frame after %d tuples: %w", len(rel), err)
+		}
+		rel = append(rel, tuple.DecodeBinary(frame))
+		if maxTuples > 0 && len(rel) > maxTuples {
+			return tag, nil, fmt.Errorf("ingest: stream exceeds %d tuples", maxTuples)
+		}
+	}
+	return tag, rel, nil
+}
+
+// Replay calls emit for every tuple at (approximately) its arrival time:
+// tuple timestamps are interpreted as milliseconds scaled by nsPerMs real
+// nanoseconds each. nsPerMs <= 0 replays at full speed. Replay returns
+// the number of tuples emitted.
+func Replay(rel tuple.Relation, nsPerMs float64, emit func(tuple.Tuple)) int {
+	if nsPerMs <= 0 {
+		for _, t := range rel {
+			emit(t)
+		}
+		return len(rel)
+	}
+	start := time.Now()
+	for _, t := range rel {
+		due := time.Duration(float64(t.TS) * nsPerMs)
+		if wait := due - time.Since(start); wait > 0 {
+			time.Sleep(wait)
+		}
+		emit(t)
+	}
+	return len(rel)
+}
+
+// Server accepts tagged tuple streams over TCP and assembles them into
+// join inputs.
+type Server struct {
+	ln net.Listener
+}
+
+// Listen starts a server on addr (e.g. "127.0.0.1:0").
+func Listen(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{ln: ln}, nil
+}
+
+// Addr returns the bound address, for clients started after the server.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting connections.
+func (s *Server) Close() error { return s.ln.Close() }
+
+// AcceptPair accepts connections until it has received both an R-tagged
+// and an S-tagged stream, then returns them. Duplicate tags overwrite the
+// earlier stream; malformed connections abort.
+func (s *Server) AcceptPair(maxTuples int) (r, sRel tuple.Relation, err error) {
+	var gotR, gotS bool
+	for !(gotR && gotS) {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return nil, nil, err
+		}
+		tag, rel, err := ReadStream(conn, maxTuples)
+		conn.Close()
+		if err != nil {
+			return nil, nil, err
+		}
+		switch tag {
+		case TagR:
+			r, gotR = rel, true
+		case TagS:
+			sRel, gotS = rel, true
+		}
+	}
+	return r, sRel, nil
+}
+
+// Send connects to addr and transmits one tagged stream. nsPerMs > 0
+// paces the transmission by arrival timestamp, emulating a live source.
+func Send(addr string, tag byte, rel tuple.Relation, nsPerMs float64) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if nsPerMs <= 0 {
+		return WriteStream(conn, tag, rel)
+	}
+	bw := bufio.NewWriter(conn)
+	if err := bw.WriteByte(tag); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, tuple.BinarySize)
+	start := time.Now()
+	for _, t := range rel {
+		due := time.Duration(float64(t.TS) * nsPerMs)
+		if wait := due - time.Since(start); wait > 0 {
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+			time.Sleep(wait)
+		}
+		buf = tuple.AppendBinary(buf[:0], t)
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,167 @@
+package ingest
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/tuple"
+)
+
+func TestStreamRoundTrip(t *testing.T) {
+	w := gen.Micro(gen.MicroConfig{RateR: 20, RateS: 20, WindowMs: 20, Dupe: 2, Seed: 1})
+	var buf bytes.Buffer
+	if err := WriteStream(&buf, TagR, w.R); err != nil {
+		t.Fatal(err)
+	}
+	tag, got, err := ReadStream(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tag != TagR || len(got) != len(w.R) {
+		t.Fatalf("tag=%c len=%d", tag, len(got))
+	}
+	for i := range got {
+		if got[i] != w.R[i] {
+			t.Fatalf("tuple %d differs", i)
+		}
+	}
+}
+
+func TestReadStreamRejectsBadTag(t *testing.T) {
+	if _, _, err := ReadStream(bytes.NewReader([]byte{'X'}), 0); !errors.Is(err, ErrBadTag) {
+		t.Fatalf("err = %v, want ErrBadTag", err)
+	}
+}
+
+func TestReadStreamTruncatedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteStream(&buf, TagS, tuple.Relation{{TS: 1, Key: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	short := buf.Bytes()[:buf.Len()-3]
+	if _, _, err := ReadStream(bytes.NewReader(short), 0); err == nil {
+		t.Fatal("truncated frame must error")
+	}
+}
+
+func TestReadStreamBoundsMemory(t *testing.T) {
+	rel := make(tuple.Relation, 100)
+	var buf bytes.Buffer
+	if err := WriteStream(&buf, TagR, rel); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadStream(&buf, 10); err == nil {
+		t.Fatal("over-limit stream must error")
+	}
+}
+
+func TestReadStreamEmpty(t *testing.T) {
+	if _, _, err := ReadStream(bytes.NewReader(nil), 0); err == nil {
+		t.Fatal("empty input must error (missing tag)")
+	}
+	var buf bytes.Buffer
+	if err := WriteStream(&buf, TagS, nil); err != nil {
+		t.Fatal(err)
+	}
+	tag, rel, err := ReadStream(&buf, 0)
+	if err != nil || tag != TagS || len(rel) != 0 {
+		t.Fatalf("tagged empty stream: %c %v %v", tag, rel, err)
+	}
+}
+
+func TestReplayFullSpeed(t *testing.T) {
+	rel := tuple.Relation{{TS: 0}, {TS: 1000}, {TS: 2000}}
+	var got []tuple.Tuple
+	n := Replay(rel, 0, func(x tuple.Tuple) { got = append(got, x) })
+	if n != 3 || len(got) != 3 {
+		t.Fatalf("replayed %d", n)
+	}
+}
+
+func TestReplayPacing(t *testing.T) {
+	// Three tuples spread over 30 "ms" at 100µs per ms ≈ 3ms wall time.
+	rel := tuple.Relation{{TS: 0}, {TS: 15}, {TS: 30}}
+	start := time.Now()
+	Replay(rel, 100e3, func(tuple.Tuple) {})
+	elapsed := time.Since(start)
+	if elapsed < 2*time.Millisecond {
+		t.Fatalf("pacing too fast: %v", elapsed)
+	}
+}
+
+func TestServerAcceptPair(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	w := gen.Micro(gen.MicroConfig{RateR: 10, RateS: 15, WindowMs: 20, Dupe: 2, Seed: 5})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if err := Send(srv.Addr(), TagR, w.R, 0); err != nil {
+			t.Errorf("send R: %v", err)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		if err := Send(srv.Addr(), TagS, w.S, 0); err != nil {
+			t.Errorf("send S: %v", err)
+		}
+	}()
+	r, s, err := srv.AcceptPair(1 << 20)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r) != len(w.R) || len(s) != len(w.S) {
+		t.Fatalf("received %d/%d, want %d/%d", len(r), len(s), len(w.R), len(w.S))
+	}
+	for i := range r {
+		if r[i] != w.R[i] {
+			t.Fatal("R stream corrupted in transit")
+		}
+	}
+}
+
+func TestSendPaced(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	rel := tuple.Relation{{TS: 0, Key: 1}, {TS: 10, Key: 2}, {TS: 20, Key: 3}}
+	done := make(chan error, 1)
+	go func() { done <- Send(srv.Addr(), TagR, rel, 50e3) }() // 50µs per ms: ~1ms total
+	conn, err := srv.ln.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag, got, err := ReadStream(conn, 0)
+	conn.Close()
+	if err != nil || tag != TagR || len(got) != 3 {
+		t.Fatalf("paced receive: tag=%c n=%d err=%v", tag, len(got), err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteStreamToFailingWriter(t *testing.T) {
+	rel := make(tuple.Relation, 1000)
+	err := WriteStream(failWriter{}, TagR, rel)
+	if err == nil {
+		t.Fatal("failing writer must surface an error")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, io.ErrClosedPipe }

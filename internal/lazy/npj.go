@@ -1,0 +1,91 @@
+package lazy
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/hashtable"
+	"repro/internal/metrics"
+	"repro/internal/tuple"
+)
+
+// NPJ is the No-Partitioning Join: a parallel canonical hash join. All
+// threads populate one shared hash table with their equisized portions of
+// R, synchronize on a barrier, then concurrently probe with their portions
+// of S. The shared table's per-bucket latches exhibit the access conflicts
+// the paper measures under high key duplication, and its footprint beyond
+// L3 drives NPJ's memory-bound profile (Section 5.6).
+//
+// LockFree switches the build phase to a CAS-based chain table — an
+// ablation of the shared-table synchronization design choice.
+type NPJ struct {
+	LockFree bool
+}
+
+// sharedTable abstracts over the latched and lock-free build tables.
+type sharedTable interface {
+	Insert(tuple.Tuple)
+	Probe(key int32, emit func(tuple.Tuple)) int
+	MemBytes() int64
+}
+
+// Name implements core.Algorithm.
+func (a NPJ) Name() string {
+	if a.LockFree {
+		return "NPJ_LF"
+	}
+	return "NPJ"
+}
+
+// Approach implements core.Algorithm.
+func (NPJ) Approach() core.Approach { return core.Lazy }
+
+// Method implements core.Algorithm.
+func (NPJ) Method() core.JoinMethod { return core.HashJoin }
+
+// Run implements core.Algorithm.
+func (a NPJ) Run(ctx *core.ExecContext) error {
+	var table sharedTable
+	if a.LockFree {
+		table = hashtable.NewLockFree(len(ctx.R))
+	} else {
+		latched := hashtable.NewShared(len(ctx.R))
+		if ctx.Tracer != nil {
+			latched.SetTracer(ctx.Tracer, 1<<42)
+		}
+		table = latched
+	}
+	baseMem := table.MemBytes()
+	ctx.M.MemAdd(baseMem)
+	var barrier sync.WaitGroup
+	barrier.Add(ctx.Threads)
+
+	parallel(ctx.Threads, func(tid int) {
+		tm := ctx.M.T(tid)
+		ctx.WaitWindow(tid)
+
+		ctx.Begin(tid, metrics.PhaseBuildSort)
+		lo, hi := core.Chunk(len(ctx.R), ctx.Threads, tid)
+		for _, t := range ctx.R[lo:hi] {
+			table.Insert(t)
+		}
+		ctx.Begin(tid, metrics.PhaseOther)
+		barrier.Done()
+		barrier.Wait() // build/probe barrier as in the original NPJ
+
+		ctx.Begin(tid, metrics.PhaseProbe)
+		k := core.NewSink(ctx, tid)
+		lo, hi = core.Chunk(len(ctx.S), ctx.Threads, tid)
+		for i, s := range ctx.S[lo:hi] {
+			if i&(matchBatch-1) == 0 {
+				k.Refresh()
+			}
+			sv := s
+			table.Probe(s.Key, func(r tuple.Tuple) { k.Match(r, sv) })
+		}
+		tm.End()
+	})
+	ctx.M.MemAdd(table.MemBytes() - baseMem) // overflow chains grown at build
+	ctx.M.MemSampleNow(ctx.NowMs())
+	return nil
+}

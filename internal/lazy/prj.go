@@ -1,0 +1,104 @@
+package lazy
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/hashtable"
+	"repro/internal/metrics"
+	"repro/internal/radix"
+	"repro/internal/tuple"
+)
+
+// PRJ is the Parallel Radix Join: both relations are physically subdivided
+// on the radix of hashed keys so each build-side partition fits in cache,
+// then a cache-resident hash join runs per partition with no sharing
+// between threads. The number of radix bits #r is its key knob
+// (Figure 18): more bits cost more partitioning but make probing cheaper.
+// Under high key skew only a few partitions carry the bulk of the data, so
+// few threads stay busy — the sensitivity Figure 13 shows.
+type PRJ struct{}
+
+// Name implements core.Algorithm.
+func (PRJ) Name() string { return "PRJ" }
+
+// Approach implements core.Algorithm.
+func (PRJ) Approach() core.Approach { return core.Lazy }
+
+// Method implements core.Algorithm.
+func (PRJ) Method() core.JoinMethod { return core.HashJoin }
+
+// Run implements core.Algorithm.
+func (PRJ) Run(ctx *core.ExecContext) error {
+	bits := ctx.Knobs.RadixBits
+	fanout := radix.Fanout(bits)
+
+	// Per-thread partition pieces, combined per partition at join time.
+	partsR := make([][]tuple.Relation, ctx.Threads)
+	partsS := make([][]tuple.Relation, ctx.Threads)
+
+	var next atomic.Int64 // dynamic partition queue for the join phase
+	var barrier sync.WaitGroup
+	barrier.Add(ctx.Threads)
+
+	parallel(ctx.Threads, func(tid int) {
+		tm := ctx.M.T(tid)
+		ctx.WaitWindow(tid)
+
+		// Phase 1: physically partition this thread's chunks.
+		ctx.Begin(tid, metrics.PhasePartition)
+		lo, hi := core.Chunk(len(ctx.R), ctx.Threads, tid)
+		partsR[tid] = radix.PartitionMultiPass(ctx.R[lo:hi], bits, ctx.Tracer, 0)
+		lo, hi = core.Chunk(len(ctx.S), ctx.Threads, tid)
+		partsS[tid] = radix.PartitionMultiPass(ctx.S[lo:hi], bits, ctx.Tracer, 1<<34)
+		ctx.M.MemAdd(int64(hi-lo) * 16 * 2) // physical copies of both inputs
+		ctx.Begin(tid, metrics.PhaseOther)
+		barrier.Done()
+		barrier.Wait()
+
+		// Phase 2: cache-resident hash join per partition, partitions
+		// handed out dynamically.
+		k := core.NewSink(ctx, tid)
+		for {
+			p := int(next.Add(1)) - 1
+			if p >= fanout {
+				break
+			}
+			ctx.Begin(tid, metrics.PhaseBuildSort)
+			nR := 0
+			for t := 0; t < ctx.Threads; t++ {
+				nR += len(partsR[t][p])
+			}
+			if nR == 0 {
+				continue
+			}
+			table := hashtable.New(nR)
+			if ctx.Tracer != nil {
+				table.SetTracer(ctx.Tracer, uint64(p)<<22|1<<40)
+			}
+			for t := 0; t < ctx.Threads; t++ {
+				for _, r := range partsR[t][p] {
+					table.Insert(r)
+				}
+			}
+			ctx.M.MemAdd(table.MemBytes())
+
+			ctx.Begin(tid, metrics.PhaseProbe)
+			k.Refresh()
+			for t := 0; t < ctx.Threads; t++ {
+				for i, s := range partsS[t][p] {
+					if i&(matchBatch-1) == 0 {
+						k.Refresh()
+					}
+					sv := s
+					table.Probe(s.Key, func(r tuple.Tuple) { k.Match(r, sv) })
+				}
+			}
+			ctx.M.MemAdd(-table.MemBytes()) // partition table released
+		}
+		tm.End()
+	})
+	ctx.M.MemSampleNow(ctx.NowMs())
+	return nil
+}

@@ -1,0 +1,144 @@
+// Package radix implements the radix partitioning used by the Parallel
+// Radix Join (PRJ).
+//
+// Following Kim et al. and the Balkesen et al. benchmark, both relations
+// are subdivided on the low-order bits of the hashed key so that each
+// resulting sub-relation of the build side fits in cache, after which a
+// cache-resident hash join runs per partition. The number of radix bits
+// (#r) is the algorithm's key tuning knob (Figure 18): more bits mean a
+// higher partitioning cost but smaller, cache-friendlier partitions.
+package radix
+
+import (
+	"repro/internal/cachesim"
+	"repro/internal/hashtable"
+	"repro/internal/tuple"
+)
+
+const tupleBytes = 16
+
+// partKey selects the partition for a key given bits radix bits. It hashes
+// first, as PRJ does, so partitioning and bucket placement decorrelate.
+func partKey(key int32, bits int) uint32 {
+	return hashtable.Hash(key) & (uint32(1)<<bits - 1)
+}
+
+// Partition splits rel into 2^bits physically contiguous partitions using
+// a histogram pass followed by a scatter pass (software-managed buffers in
+// the original; a dense prefix-sum scatter here). tr may be nil.
+func Partition(rel tuple.Relation, bits int, tr cachesim.Tracer, base uint64) []tuple.Relation {
+	if bits < 0 {
+		bits = 0
+	}
+	fanout := 1 << bits
+	hist := make([]int, fanout)
+	for i := range rel {
+		hist[partKey(rel[i].Key, bits)]++
+		if tr != nil {
+			tr.Access(base + uint64(i)*tupleBytes)
+			tr.Op(2)
+		}
+	}
+	offsets := make([]int, fanout)
+	sum := 0
+	for p, c := range hist {
+		offsets[p] = sum
+		sum += c
+	}
+	out := make(tuple.Relation, len(rel))
+	outBase := base + uint64(len(rel))*tupleBytes
+	pos := make([]int, fanout)
+	copy(pos, offsets)
+	for i := range rel {
+		p := partKey(rel[i].Key, bits)
+		out[pos[p]] = rel[i]
+		if tr != nil {
+			tr.Access(base + uint64(i)*tupleBytes)
+			tr.Access(outBase + uint64(pos[p])*tupleBytes)
+			tr.Op(3)
+		}
+		pos[p]++
+	}
+	parts := make([]tuple.Relation, fanout)
+	for p := 0; p < fanout; p++ {
+		parts[p] = out[offsets[p] : offsets[p]+hist[p]]
+	}
+	return parts
+}
+
+// PartitionOf exposes the partition index for a key, so both relations are
+// split consistently.
+func PartitionOf(key int32, bits int) int { return int(partKey(key, bits)) }
+
+// Fanout returns the number of partitions produced for a bit count.
+func Fanout(bits int) int { return 1 << bits }
+
+// MaxBitsPerPass bounds the fanout of one partitioning pass. A scatter
+// with 2^b open output streams touches 2^b distinct cache lines and pages
+// concurrently; the original PRJ keeps b at or below the TLB entry count
+// and recurses for larger #r. 8 bits (256-way) is the classic choice.
+const MaxBitsPerPass = 8
+
+// PartitionMultiPass splits rel into 2^bits partitions using multiple
+// passes of at most MaxBitsPerPass bits each, as PRJ does for large radix
+// budgets: the first pass partitions on the high-order radix bits, then
+// each partition is re-partitioned on the next bits, keeping every
+// scatter's write fanout TLB-friendly. The resulting partition order and
+// contents are identical to a single-pass Partition with the same bits.
+func PartitionMultiPass(rel tuple.Relation, bits int, tr cachesim.Tracer, base uint64) []tuple.Relation {
+	if bits <= MaxBitsPerPass {
+		return Partition(rel, bits, tr, base)
+	}
+	loBits := bits - MaxBitsPerPass
+	// Pass 1: split on the high-order bits of the radix.
+	coarse := partitionShifted(rel, MaxBitsPerPass, loBits, tr, base)
+	// Pass 2 (recursive): refine each coarse partition on the low bits.
+	out := make([]tuple.Relation, 0, Fanout(bits))
+	for i, part := range coarse {
+		sub := PartitionMultiPass(part, loBits, tr, base+uint64(i)<<40)
+		out = append(out, sub...)
+	}
+	return out
+}
+
+// partitionShifted partitions on bits [shift, shift+bits) of the hashed
+// key, the building block of the multi-pass scheme.
+func partitionShifted(rel tuple.Relation, bits, shift int, tr cachesim.Tracer, base uint64) []tuple.Relation {
+	fanout := 1 << bits
+	sel := func(key int32) int {
+		return int((hashtable.Hash(key) >> shift) & (uint32(1)<<bits - 1))
+	}
+	hist := make([]int, fanout)
+	for i := range rel {
+		hist[sel(rel[i].Key)]++
+		if tr != nil {
+			tr.Access(base + uint64(i)*tupleBytes)
+			tr.Op(2)
+		}
+	}
+	offsets := make([]int, fanout)
+	sum := 0
+	for p, c := range hist {
+		offsets[p] = sum
+		sum += c
+	}
+	out := make(tuple.Relation, len(rel))
+	outBase := base + uint64(len(rel))*tupleBytes
+	pos := make([]int, fanout)
+	copy(pos, offsets)
+	for i := range rel {
+		p := sel(rel[i].Key)
+		out[pos[p]] = rel[i]
+		if tr != nil {
+			tr.Access(base + uint64(i)*tupleBytes)
+			tr.Access(outBase + uint64(pos[p])*tupleBytes)
+			tr.Op(3)
+		}
+		pos[p]++
+	}
+	parts := make([]tuple.Relation, fanout)
+	for p := 0; p < fanout; p++ {
+		parts[p] = out[offsets[p] : offsets[p]+hist[p]]
+	}
+	return parts
+}

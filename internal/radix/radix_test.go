@@ -1,0 +1,137 @@
+package radix
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tuple"
+)
+
+func randomRel(n int, seed uint64) tuple.Relation {
+	rng := rand.New(rand.NewPCG(seed, seed^3))
+	rel := make(tuple.Relation, n)
+	for i := range rel {
+		rel[i] = tuple.Tuple{Key: rng.Int32N(10000), Payload: int32(i)}
+	}
+	return rel
+}
+
+func TestPartitionPreservesTuples(t *testing.T) {
+	rel := randomRel(5000, 1)
+	parts := Partition(rel, 6, nil, 0)
+	if len(parts) != 64 {
+		t.Fatalf("fanout = %d, want 64", len(parts))
+	}
+	total := 0
+	seen := map[int32]bool{}
+	for p, part := range parts {
+		total += len(part)
+		for _, x := range part {
+			if PartitionOf(x.Key, 6) != p {
+				t.Fatalf("tuple key %d landed in wrong partition %d", x.Key, p)
+			}
+			seen[x.Payload] = true
+		}
+	}
+	if total != len(rel) || len(seen) != len(rel) {
+		t.Fatalf("partitioning lost tuples: total=%d unique=%d want=%d", total, len(seen), len(rel))
+	}
+}
+
+func TestPartitionConsistencyAcrossRelations(t *testing.T) {
+	// R and S tuples with the same key must land in the same partition
+	// index, or the per-partition joins would miss matches.
+	f := func(key int32, bitsRaw uint8) bool {
+		bits := int(bitsRaw%14) + 1
+		return PartitionOf(key, bits) == PartitionOf(key, bits) &&
+			PartitionOf(key, bits) < Fanout(bits)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionZeroBits(t *testing.T) {
+	rel := randomRel(100, 2)
+	parts := Partition(rel, 0, nil, 0)
+	if len(parts) != 1 || len(parts[0]) != 100 {
+		t.Fatalf("0 bits must produce one full partition, got %d parts", len(parts))
+	}
+}
+
+func TestPartitionEmptyRelation(t *testing.T) {
+	parts := Partition(nil, 4, nil, 0)
+	if len(parts) != 16 {
+		t.Fatalf("fanout = %d, want 16", len(parts))
+	}
+	for _, p := range parts {
+		if len(p) != 0 {
+			t.Fatal("empty input must produce empty partitions")
+		}
+	}
+}
+
+func TestFanout(t *testing.T) {
+	if Fanout(0) != 1 || Fanout(10) != 1024 {
+		t.Fatal("fanout must be 2^bits")
+	}
+}
+
+func TestMultiPassMatchesSinglePass(t *testing.T) {
+	rel := randomRel(20000, 5)
+	for _, bits := range []int{4, 8, 10, 12, 14, 16} {
+		single := Partition(rel, bits, nil, 0)
+		multi := PartitionMultiPass(rel, bits, nil, 0)
+		if len(single) != len(multi) {
+			t.Fatalf("bits=%d: fanout %d vs %d", bits, len(single), len(multi))
+		}
+		for p := range single {
+			if len(single[p]) != len(multi[p]) {
+				t.Fatalf("bits=%d partition %d: %d vs %d tuples",
+					bits, p, len(single[p]), len(multi[p]))
+			}
+			// Same multiset of payloads per partition (order within a
+			// partition may differ between the strategies).
+			seen := map[int32]int{}
+			for _, x := range single[p] {
+				seen[x.Payload]++
+			}
+			for _, x := range multi[p] {
+				seen[x.Payload]--
+			}
+			for _, c := range seen {
+				if c != 0 {
+					t.Fatalf("bits=%d partition %d: contents differ", bits, p)
+				}
+			}
+		}
+	}
+}
+
+func TestMultiPassKeepsPartitionInvariant(t *testing.T) {
+	rel := randomRel(5000, 6)
+	const bits = 12
+	parts := PartitionMultiPass(rel, bits, nil, 0)
+	for p, part := range parts {
+		for _, x := range part {
+			if PartitionOf(x.Key, bits) != p {
+				t.Fatalf("key %d in partition %d, want %d", x.Key, p, PartitionOf(x.Key, bits))
+			}
+		}
+	}
+}
+
+type countTracer struct{ accesses, ops uint64 }
+
+func (c *countTracer) Access(uint64) { c.accesses++ }
+func (c *countTracer) Op(n uint64)   { c.ops += n }
+
+func TestPartitionTracesAccesses(t *testing.T) {
+	rel := randomRel(200, 4)
+	tr := &countTracer{}
+	Partition(rel, 4, tr, 0)
+	if tr.accesses == 0 || tr.ops == 0 {
+		t.Fatal("tracer must observe partition traffic")
+	}
+}

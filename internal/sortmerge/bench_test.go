@@ -1,0 +1,94 @@
+package sortmerge
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/tuple"
+)
+
+func benchRel(n int) tuple.Relation {
+	rng := rand.New(rand.NewPCG(1, 2))
+	rel := make(tuple.Relation, n)
+	for i := range rel {
+		rel[i] = tuple.Tuple{Key: rng.Int32N(1 << 20), Payload: int32(i)}
+	}
+	return rel
+}
+
+// The SIMD-substitute contrast of Figure 21 at kernel level: radix sort
+// (vectorized stand-in) against the scalar merge sort.
+
+func BenchmarkSortSIMD(b *testing.B) {
+	rel := benchRel(131_072)
+	b.SetBytes(int64(len(rel)) * 16)
+	for i := 0; i < b.N; i++ {
+		r := rel.Clone()
+		SortByKey(r, true, nil, 0)
+	}
+}
+
+func BenchmarkSortScalar(b *testing.B) {
+	rel := benchRel(131_072)
+	b.SetBytes(int64(len(rel)) * 16)
+	for i := 0; i < b.N; i++ {
+		r := rel.Clone()
+		SortByKey(r, false, nil, 0)
+	}
+}
+
+func BenchmarkMultiwayMerge(b *testing.B) {
+	runs := make([]tuple.Relation, 8)
+	for i := range runs {
+		runs[i] = benchRel(16_384)
+		SortByKey(runs[i], true, nil, 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MultiwayMerge(runs, true)
+	}
+}
+
+func BenchmarkTwoWayMergePasses(b *testing.B) {
+	runs := make([]tuple.Relation, 8)
+	for i := range runs {
+		runs[i] = benchRel(16_384)
+		SortByKey(runs[i], true, nil, 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TwoWayMergePasses(runs, true)
+	}
+}
+
+func BenchmarkMergeJoinUnique(b *testing.B) {
+	r := benchRel(65_536)
+	s := benchRel(65_536)
+	SortByKey(r, true, nil, 0)
+	SortByKey(s, true, nil, 0)
+	b.SetBytes(int64(len(r)+len(s)) * 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MergeJoin(r, s, nil, nil, 0, 0)
+	}
+}
+
+func BenchmarkMergeJoinHighDupe(b *testing.B) {
+	// Duplicate runs expand as nested loops: the cache-friendly
+	// sequential revisits of Section 5.4.
+	rng := rand.New(rand.NewPCG(3, 4))
+	r := make(tuple.Relation, 20_000)
+	s := make(tuple.Relation, 20_000)
+	for i := range r {
+		r[i] = tuple.Tuple{Key: rng.Int32N(200)}
+		s[i] = tuple.Tuple{Key: rng.Int32N(200)}
+	}
+	SortByKey(r, true, nil, 0)
+	SortByKey(s, true, nil, 0)
+	b.ResetTimer()
+	var matches int64
+	for i := 0; i < b.N; i++ {
+		matches = MergeJoin(r, s, func(_, _ tuple.Tuple) {}, nil, 0, 0)
+	}
+	b.ReportMetric(float64(matches), "matches")
+}

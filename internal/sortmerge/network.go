@@ -1,0 +1,114 @@
+package sortmerge
+
+// Sorting-network kernels: the structure of the avxsort routines the
+// paper's MWay/MPass/PMJ builds on. An 8-element bitonic sorting network
+// sorts fixed-size groups with branch-free compare-exchange pairs, and a
+// merge sort over network-sorted groups completes the ordering. Exposed
+// as a third sort strategy next to the radix substitute and the scalar
+// comparison sort, so the kernel trade-offs can be benchmarked directly.
+
+import "repro/internal/tuple"
+
+// cmpExchange orders a[i], a[j] by key rank with a branch-free swap.
+func cmpExchange(a []tuple.Tuple, i, j int) {
+	if keyRank(a[i].Key) > keyRank(a[j].Key) {
+		a[i], a[j] = a[j], a[i]
+	}
+}
+
+// network8 is Batcher's 8-input sorting network: 19 compare-exchange
+// pairs in 6 parallel stages (the per-register kernel of avxsort).
+func network8(a []tuple.Tuple) {
+	// stage 1
+	cmpExchange(a, 0, 1)
+	cmpExchange(a, 2, 3)
+	cmpExchange(a, 4, 5)
+	cmpExchange(a, 6, 7)
+	// stage 2
+	cmpExchange(a, 0, 2)
+	cmpExchange(a, 1, 3)
+	cmpExchange(a, 4, 6)
+	cmpExchange(a, 5, 7)
+	// stage 3
+	cmpExchange(a, 1, 2)
+	cmpExchange(a, 5, 6)
+	cmpExchange(a, 0, 4)
+	cmpExchange(a, 3, 7)
+	// stage 4
+	cmpExchange(a, 1, 5)
+	cmpExchange(a, 2, 6)
+	// stage 5
+	cmpExchange(a, 1, 4)
+	cmpExchange(a, 3, 6)
+	// stage 6
+	cmpExchange(a, 2, 4)
+	cmpExchange(a, 3, 5)
+	cmpExchange(a, 3, 4)
+}
+
+// SortByKeyNetwork sorts rel by key using 8-wide sorting networks as the
+// base case and iterative branch-free merging above — the avxsort shape
+// without intrinsics.
+func SortByKeyNetwork(rel []tuple.Tuple) {
+	n := len(rel)
+	if n < 2 {
+		return
+	}
+	// Base case: network-sort every full group of 8; insertion-sort the
+	// ragged tail.
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		network8(rel[i : i+8])
+	}
+	if i < n {
+		insertionSort(rel[i:n], nil, 0)
+	}
+	// Bottom-up merge of sorted groups with the branch-free merge.
+	buf := make([]tuple.Tuple, n)
+	src, dst := rel, buf
+	for width := 8; width < n; width *= 2 {
+		for lo := 0; lo < n; lo += 2 * width {
+			mid := lo + width
+			hi := lo + 2*width
+			if mid > n {
+				mid = n
+			}
+			if hi > n {
+				hi = n
+			}
+			mergeInto(src[lo:mid], src[mid:hi], dst[lo:hi])
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &rel[0] {
+		copy(rel, src)
+	}
+}
+
+// mergeInto merges two sorted runs into out (len(out) == len(a)+len(b))
+// with the branch-free selection loop.
+func mergeInto(a, b, out []tuple.Tuple) {
+	i, j := 0, 0
+	for k := range out {
+		switch {
+		case i >= len(a):
+			out[k] = b[j]
+			j++
+		case j >= len(b):
+			out[k] = a[i]
+			i++
+		default:
+			takeA := 0
+			if keyRank(a[i].Key) <= keyRank(b[j].Key) {
+				takeA = 1
+			}
+			if takeA == 1 {
+				out[k] = a[i]
+			} else {
+				out[k] = b[j]
+			}
+			i += takeA
+			j += 1 - takeA
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package sortmerge
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tuple"
+)
+
+// TestNetwork8Exhaustive verifies the 8-input sorting network on every
+// permutation pattern via the 0-1 principle: a comparison network sorts
+// all inputs iff it sorts all 2^8 boolean sequences.
+func TestNetwork8Exhaustive(t *testing.T) {
+	for mask := 0; mask < 256; mask++ {
+		var a [8]tuple.Tuple
+		for i := 0; i < 8; i++ {
+			a[i].Key = int32((mask >> i) & 1)
+			a[i].Payload = int32(i)
+		}
+		network8(a[:])
+		for i := 1; i < 8; i++ {
+			if a[i].Key < a[i-1].Key {
+				t.Fatalf("mask %08b: network left %v unsorted", mask, a)
+			}
+		}
+	}
+}
+
+func TestNetworkSortAllSizes(t *testing.T) {
+	for n := 0; n <= 70; n++ {
+		rel := randomRel(n, 40, uint64(n)+3)
+		SortByKeyNetwork(rel)
+		if !Sorted(rel) {
+			t.Fatalf("n=%d: not sorted", n)
+		}
+	}
+}
+
+func TestNetworkSortMatchesOthers(t *testing.T) {
+	f := func(keys []int32) bool {
+		a := make(tuple.Relation, len(keys))
+		b := make(tuple.Relation, len(keys))
+		for i, k := range keys {
+			a[i] = tuple.Tuple{Key: k, Payload: int32(i)}
+			b[i] = a[i]
+		}
+		SortByKeyNetwork(a)
+		SortByKey(b, true, nil, 0)
+		for i := range a {
+			if a[i].Key != b[i].Key {
+				return false
+			}
+		}
+		return Sorted(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeInto(t *testing.T) {
+	a := tuple.Relation{{Key: 1}, {Key: 5}}
+	b := tuple.Relation{{Key: 2}, {Key: 3}, {Key: 9}}
+	out := make(tuple.Relation, 5)
+	mergeInto(a, b, out)
+	want := []int32{1, 2, 3, 5, 9}
+	for i, k := range want {
+		if out[i].Key != k {
+			t.Fatalf("out = %v", out)
+		}
+	}
+	// Empty sides.
+	out = make(tuple.Relation, 2)
+	mergeInto(nil, a, out)
+	if out[0].Key != 1 || out[1].Key != 5 {
+		t.Fatalf("empty-a merge: %v", out)
+	}
+	mergeInto(a, nil, out)
+	if out[0].Key != 1 || out[1].Key != 5 {
+		t.Fatalf("empty-b merge: %v", out)
+	}
+}
+
+func BenchmarkSortNetwork(b *testing.B) {
+	rel := benchRel(131_072)
+	b.SetBytes(int64(len(rel)) * 16)
+	for i := 0; i < b.N; i++ {
+		r := rel.Clone()
+		SortByKeyNetwork(r)
+	}
+}

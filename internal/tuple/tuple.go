@@ -1,0 +1,171 @@
+// Package tuple defines the narrow stream-tuple model shared by every
+// intra-window-join algorithm in this repository.
+//
+// Following the dataset structure of Balkesen et al. (and Section 4.2.2 of
+// the paper), a tuple is a narrow <key, payload> pair plus the arrival
+// timestamp that reflects when it reaches the system. Relations are
+// time-ordered slices of tuples; joins are evaluated over a single window.
+package tuple
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Tuple is one stream element x = {t, k, v}.
+//
+// TS is the arrival timestamp in simulated milliseconds from the start of
+// the window (tuples are time ordered). Key is the 32-bit join key and
+// Payload the 32-bit payload, mirroring the 64-bit-wide narrow tuples the
+// paper uses to enable vectorized processing.
+type Tuple struct {
+	TS      int64
+	Key     int32
+	Payload int32
+}
+
+// Relation is a chronologically ordered list of tuples from one input
+// stream, restricted to the window under study.
+type Relation []Tuple
+
+// Code packs the key and an index into a single uint64 sort code with the
+// key in the high bits, so sorting codes sorts tuples by key while keeping
+// a back-pointer to the original position.
+func Code(key int32, idx uint32) uint64 {
+	return uint64(uint32(key))<<32 | uint64(idx)
+}
+
+// CodeKey extracts the key from a sort code produced by Code.
+func CodeKey(c uint64) int32 { return int32(uint32(c >> 32)) }
+
+// CodeIdx extracts the original index from a sort code produced by Code.
+func CodeIdx(c uint64) uint32 { return uint32(c) }
+
+// SortByTS orders the relation chronologically. Generators emit tuples in
+// arrival order already; this is a safety net for externally built inputs.
+func (r Relation) SortByTS() {
+	sort.Slice(r, func(i, j int) bool { return r[i].TS < r[j].TS })
+}
+
+// SortedByTS reports whether the relation is already in arrival order.
+func (r Relation) SortedByTS() bool {
+	for i := 1; i < len(r); i++ {
+		if r[i].TS < r[i-1].TS {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxTS returns the largest arrival timestamp, or 0 for an empty relation.
+func (r Relation) MaxTS() int64 {
+	var m int64
+	for _, t := range r {
+		if t.TS > m {
+			m = t.TS
+		}
+	}
+	return m
+}
+
+// Clone returns a deep copy of the relation. Algorithms that physically
+// partition or sort inputs use it to leave the caller's data untouched.
+func (r Relation) Clone() Relation {
+	c := make(Relation, len(r))
+	copy(c, r)
+	return c
+}
+
+// Stats summarizes the workload characteristics the paper reports in
+// Table 3: arrival rate, key duplication, and an estimated Zipf key skew.
+type Stats struct {
+	Tuples    int     // |R|
+	UniqueKey int     // distinct keys
+	Dupe      float64 // average duplicates per key
+	Rate      float64 // tuples per millisecond over the observed span
+	SpanMs    int64   // last TS - first TS + 1
+	KeySkew   float64 // estimated Zipf theta of the key frequencies
+}
+
+// Summarize computes Stats for the relation.
+func (r Relation) Summarize() Stats {
+	s := Stats{Tuples: len(r)}
+	if len(r) == 0 {
+		return s
+	}
+	freq := make(map[int32]int, len(r))
+	minTS, maxTS := r[0].TS, r[0].TS
+	for _, t := range r {
+		freq[t.Key]++
+		if t.TS < minTS {
+			minTS = t.TS
+		}
+		if t.TS > maxTS {
+			maxTS = t.TS
+		}
+	}
+	s.UniqueKey = len(freq)
+	s.Dupe = float64(len(r)) / float64(len(freq))
+	s.SpanMs = maxTS - minTS + 1
+	s.Rate = float64(len(r)) / float64(s.SpanMs)
+	s.KeySkew = estimateZipf(freq)
+	return s
+}
+
+// estimateZipf fits a Zipf exponent to the key-frequency distribution using
+// a least-squares fit of log(rank) against log(frequency), the standard
+// rank-size regression. A uniform distribution yields ~0.
+func estimateZipf(freq map[int32]int) float64 {
+	if len(freq) < 2 {
+		return 0
+	}
+	counts := make([]int, 0, len(freq))
+	for _, c := range freq {
+		counts = append(counts, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	var sx, sy, sxx, sxy float64
+	n := float64(len(counts))
+	for i, c := range counts {
+		x := math.Log(float64(i + 1))
+		y := math.Log(float64(c))
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0
+	}
+	theta := -(n*sxy - sx*sy) / den
+	if theta < 0 {
+		theta = 0
+	}
+	return theta
+}
+
+// String renders a tuple for debugging.
+func (t Tuple) String() string {
+	return fmt.Sprintf("{ts=%d k=%d v=%d}", t.TS, t.Key, t.Payload)
+}
+
+// JoinResult is one output tuple of the intra-window join. Per Definition 2
+// the result carries max(r.ts, s.ts) as its timestamp, the shared key, and
+// both payloads.
+type JoinResult struct {
+	TS       int64
+	Key      int32
+	PayloadR int32
+	PayloadS int32
+}
+
+// ResultOf materializes the join output for a matching pair.
+func ResultOf(r, s Tuple) JoinResult {
+	ts := r.TS
+	if s.TS > ts {
+		ts = s.TS
+	}
+	return JoinResult{TS: ts, Key: r.Key, PayloadR: r.Payload, PayloadS: s.Payload}
+}

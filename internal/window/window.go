@@ -1,0 +1,273 @@
+// Package window slices unbounded streams into the bounded windows that
+// intra-window joins operate on.
+//
+// Definition 1 of the paper treats a window as an arbitrary time range of
+// length w, independent of the window type (sliding, tumbling, or
+// session). The study itself joins a single window; this package provides
+// the window-assignment machinery around it — the building block role the
+// paper assigns to IaWJ for inter-window joins ("designing efficient
+// inter-window join algorithms by taking IaWJ as a building block").
+package window
+
+import (
+	"fmt"
+
+	"repro/internal/tuple"
+)
+
+// Kind enumerates the window types of Definition 1.
+type Kind int
+
+// Tumbling windows partition time into disjoint ranges; Sliding windows
+// overlap with a fixed slide; Session windows close after a gap of
+// inactivity.
+const (
+	Tumbling Kind = iota
+	Sliding
+	Session
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Tumbling:
+		return "tumbling"
+	case Sliding:
+		return "sliding"
+	default:
+		return "session"
+	}
+}
+
+// Spec describes a window assignment.
+type Spec struct {
+	Kind Kind
+	// LengthMs is the window length w (tumbling and sliding).
+	LengthMs int64
+	// SlideMs is the slide of a sliding window (must be <= LengthMs for
+	// full coverage; defaults to LengthMs, i.e. tumbling).
+	SlideMs int64
+	// GapMs closes a session window after this much inactivity.
+	GapMs int64
+}
+
+// Validate reports configuration errors before any slicing happens.
+func (s Spec) Validate() error {
+	switch s.Kind {
+	case Tumbling:
+		if s.LengthMs <= 0 {
+			return fmt.Errorf("window: tumbling window needs LengthMs > 0, got %d", s.LengthMs)
+		}
+	case Sliding:
+		if s.LengthMs <= 0 {
+			return fmt.Errorf("window: sliding window needs LengthMs > 0, got %d", s.LengthMs)
+		}
+		if s.SlideMs < 0 {
+			return fmt.Errorf("window: negative slide %d", s.SlideMs)
+		}
+	case Session:
+		if s.GapMs <= 0 {
+			return fmt.Errorf("window: session window needs GapMs > 0, got %d", s.GapMs)
+		}
+	default:
+		return fmt.Errorf("window: unknown kind %d", s.Kind)
+	}
+	return nil
+}
+
+// Window is one time range [Start, End).
+type Window struct {
+	Start, End int64
+}
+
+// Contains reports whether ts falls inside the window.
+func (w Window) Contains(ts int64) bool { return ts >= w.Start && ts < w.End }
+
+// Length returns End - Start.
+func (w Window) Length() int64 { return w.End - w.Start }
+
+// Assign slices a time-ordered relation into windows according to the
+// spec. Each returned slice aliases the input (no copies); for sliding
+// windows a tuple appears in every window covering its timestamp.
+// Windows are returned in start order; empty windows are skipped.
+func Assign(rel tuple.Relation, spec Spec) ([]Window, []tuple.Relation, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(rel) == 0 {
+		return nil, nil, nil
+	}
+	if !rel.SortedByTS() {
+		return nil, nil, fmt.Errorf("window: relation is not time ordered")
+	}
+	switch spec.Kind {
+	case Tumbling:
+		return assignTumbling(rel, spec.LengthMs)
+	case Sliding:
+		slide := spec.SlideMs
+		if slide <= 0 {
+			slide = spec.LengthMs
+		}
+		return assignSliding(rel, spec.LengthMs, slide)
+	default:
+		return assignSession(rel, spec.GapMs)
+	}
+}
+
+func assignTumbling(rel tuple.Relation, w int64) ([]Window, []tuple.Relation, error) {
+	var windows []Window
+	var slices []tuple.Relation
+	start := 0
+	for start < len(rel) {
+		wStart := rel[start].TS / w * w
+		end := start
+		for end < len(rel) && rel[end].TS < wStart+w {
+			end++
+		}
+		windows = append(windows, Window{Start: wStart, End: wStart + w})
+		slices = append(slices, rel[start:end])
+		start = end
+	}
+	return windows, slices, nil
+}
+
+func assignSliding(rel tuple.Relation, w, slide int64) ([]Window, []tuple.Relation, error) {
+	var windows []Window
+	var slices []tuple.Relation
+	last := rel[len(rel)-1].TS
+	lo := 0
+	// The earliest epoch-aligned window that can contain the first
+	// tuple: start > firstTS - w, so both streams enumerate the same
+	// window starts regardless of when each one begins.
+	first := rel[0].TS - w + 1
+	if first < 0 {
+		first = 0
+	}
+	start := (first + slide - 1) / slide * slide
+	for wStart := start; wStart <= last; wStart += slide {
+		for lo < len(rel) && rel[lo].TS < wStart {
+			lo++
+		}
+		hi := lo
+		for hi < len(rel) && rel[hi].TS < wStart+w {
+			hi++
+		}
+		if hi > lo {
+			windows = append(windows, Window{Start: wStart, End: wStart + w})
+			slices = append(slices, rel[lo:hi])
+		}
+	}
+	return windows, slices, nil
+}
+
+func assignSession(rel tuple.Relation, gap int64) ([]Window, []tuple.Relation, error) {
+	var windows []Window
+	var slices []tuple.Relation
+	start := 0
+	for start < len(rel) {
+		end := start + 1
+		for end < len(rel) && rel[end].TS-rel[end-1].TS <= gap {
+			end++
+		}
+		windows = append(windows, Window{Start: rel[start].TS, End: rel[end-1].TS + 1})
+		slices = append(slices, rel[start:end])
+		start = end
+	}
+	return windows, slices, nil
+}
+
+// Align pairs the windows produced for two streams by window start, the
+// precondition for joining stream pairs window by window. Windows present
+// on only one side are paired with an empty slice on the other.
+func Align(wR []Window, rSlices []tuple.Relation, wS []Window, sSlices []tuple.Relation) []Pair {
+	var out []Pair
+	i, j := 0, 0
+	for i < len(wR) || j < len(wS) {
+		switch {
+		case j >= len(wS) || (i < len(wR) && wR[i].Start < wS[j].Start):
+			out = append(out, Pair{Window: wR[i], R: rSlices[i]})
+			i++
+		case i >= len(wR) || wS[j].Start < wR[i].Start:
+			out = append(out, Pair{Window: wS[j], S: sSlices[j]})
+			j++
+		default:
+			out = append(out, Pair{Window: wR[i], R: rSlices[i], S: sSlices[j]})
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Pair is one aligned window with the tuple subsets of both streams.
+type Pair struct {
+	Window Window
+	R, S   tuple.Relation
+}
+
+// AssignPair slices two streams into jointly defined, aligned windows —
+// the form a window join consumes. Tumbling and sliding windows are
+// epoch-aligned, so per-stream assignment aligns naturally; session
+// windows are derived from the union of both streams' activity (a session
+// stays open while either stream is active).
+func AssignPair(r, s tuple.Relation, spec Spec) ([]Pair, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.Kind == Session {
+		return assignPairSession(r, s, spec.GapMs)
+	}
+	wR, rSlices, err := Assign(r, spec)
+	if err != nil {
+		return nil, err
+	}
+	wS, sSlices, err := Assign(s, spec)
+	if err != nil {
+		return nil, err
+	}
+	return Align(wR, rSlices, wS, sSlices), nil
+}
+
+func assignPairSession(r, s tuple.Relation, gap int64) ([]Pair, error) {
+	if !r.SortedByTS() || !s.SortedByTS() {
+		return nil, fmt.Errorf("window: relation is not time ordered")
+	}
+	// Merge the two timestamp sequences to find joint session bounds.
+	var merged []int64
+	i, j := 0, 0
+	for i < len(r) || j < len(s) {
+		if j >= len(s) || (i < len(r) && r[i].TS <= s[j].TS) {
+			merged = append(merged, r[i].TS)
+			i++
+		} else {
+			merged = append(merged, s[j].TS)
+			j++
+		}
+	}
+	if len(merged) == 0 {
+		return nil, nil
+	}
+	var pairs []Pair
+	ri, si := 0, 0
+	start := 0
+	for start < len(merged) {
+		end := start + 1
+		for end < len(merged) && merged[end]-merged[end-1] <= gap {
+			end++
+		}
+		win := Window{Start: merged[start], End: merged[end-1] + 1}
+		p := Pair{Window: win}
+		lo := ri
+		for ri < len(r) && r[ri].TS < win.End {
+			ri++
+		}
+		p.R = r[lo:ri]
+		lo = si
+		for si < len(s) && s[si].TS < win.End {
+			si++
+		}
+		p.S = s[lo:si]
+		pairs = append(pairs, p)
+		start = end
+	}
+	return pairs, nil
+}

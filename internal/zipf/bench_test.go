@@ -1,0 +1,24 @@
+package zipf
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkNext(b *testing.B) {
+	for _, theta := range []float64{0, 0.5, 1.5} {
+		b.Run(fmt.Sprintf("theta=%.1f", theta), func(b *testing.B) {
+			g := New(1<<20, theta, 1)
+			for i := 0; i < b.N; i++ {
+				g.Next()
+			}
+		})
+	}
+}
+
+func BenchmarkNewLargeDomain(b *testing.B) {
+	// Setup cost is dominated by the zeta sum over the domain.
+	for i := 0; i < b.N; i++ {
+		New(1<<16, 0.8, uint64(i))
+	}
+}

@@ -1,0 +1,93 @@
+package zipf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDomainBounds(t *testing.T) {
+	f := func(nRaw uint16, thetaRaw uint8, seed uint64) bool {
+		n := uint64(nRaw)%1000 + 1
+		theta := float64(thetaRaw) / 64 // 0..4
+		g := New(n, theta, seed)
+		for i := 0; i < 200; i++ {
+			if v := g.Next(); v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThetaZeroIsRoughlyUniform(t *testing.T) {
+	const n, draws = 10, 100000
+	g := New(n, 0, 1)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[g.Next()]++
+	}
+	want := draws / n
+	for k, c := range counts {
+		if c < want*8/10 || c > want*12/10 {
+			t.Fatalf("uniform draw skewed: counts[%d] = %d, want ~%d", k, c, want)
+		}
+	}
+}
+
+func TestHigherThetaConcentratesMass(t *testing.T) {
+	const n, draws = 1000, 50000
+	top := func(theta float64) int {
+		g := New(n, theta, 7)
+		hits := 0
+		for i := 0; i < draws; i++ {
+			if g.Next() < 10 {
+				hits++
+			}
+		}
+		return hits
+	}
+	t0, t08, t16 := top(0), top(0.8), top(1.6)
+	if !(t0 < t08 && t08 < t16) {
+		t.Fatalf("mass on top-10 ranks must grow with theta: %d, %d, %d", t0, t08, t16)
+	}
+	if t16 < draws/2 {
+		t.Fatalf("theta=1.6 should put most mass on top ranks, got %d/%d", t16, draws)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := New(100, 0.9, 42)
+	b := New(100, 0.9, 42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed must give identical sequences")
+		}
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	g := New(0, -1, 1) // n clamps to 1, theta clamps to 0
+	if g.N() != 1 || g.Theta() != 0 {
+		t.Fatalf("clamping failed: n=%d theta=%f", g.N(), g.Theta())
+	}
+	for i := 0; i < 10; i++ {
+		if g.Next() != 0 {
+			t.Fatal("domain of 1 must always draw 0")
+		}
+	}
+}
+
+func TestThetaNearOneIsNudged(t *testing.T) {
+	g := New(100, 1.0, 3)
+	if g.Theta() == 1.0 {
+		t.Fatal("theta exactly 1 must be nudged to avoid the alpha singularity")
+	}
+	for i := 0; i < 100; i++ {
+		if v := g.Next(); v >= 100 {
+			t.Fatalf("out of domain: %d", v)
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package iawj
+
+import "testing"
+
+// TestSkew2Equality is a regression test for two subtleties found while
+// reproducing Figure 13: (i) every algorithm must agree under extreme key
+// skew, and (ii) hot keys are skewed per stream but scrambled with
+// per-stream seeds, so the hot keys of R and S do not coincide and the
+// match count stays bounded — consistent with the paper's flat throughput
+// curves at skew 2.0. (It also guards the O(1) head-insertion of the
+// bucket-chain tables: chain-walking inserts made this quadratic.)
+func TestSkew2Equality(t *testing.T) {
+	w := Micro(MicroConfig{RateR: 500, RateS: 500, WindowMs: 20, Dupe: 4, KeySkew: 2.0, Seed: 42})
+	want := ExpectedMatches(w.R, w.S)
+	t.Logf("n=%d expected=%d", len(w.R), want)
+	for _, name := range Algorithms() {
+		res, err := Join(w.R, w.S, Config{Algorithm: name, Threads: 2, AtRest: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Matches != want {
+			t.Errorf("%s: %d want %d", name, res.Matches, want)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package iawj
+
+import "testing"
+
+// tumbledGroundTruth computes per-window match counts by brute force.
+func tumbledGroundTruth(r, s Relation, w int64) map[int64]int64 {
+	byWin := map[int64]map[int32]int64{}
+	for _, x := range r {
+		win := x.TS / w
+		if byWin[win] == nil {
+			byWin[win] = map[int32]int64{}
+		}
+		byWin[win][x.Key]++
+	}
+	out := map[int64]int64{}
+	for _, x := range s {
+		win := x.TS / w
+		out[win*w] += byWin[win][x.Key]
+	}
+	return out
+}
+
+func TestJoinWindowedTumbling(t *testing.T) {
+	// A long stream spanning several windows.
+	w := Micro(MicroConfig{RateR: 40, RateS: 40, WindowMs: 400, Dupe: 4, Seed: 41})
+	const winLen = 100
+	want := tumbledGroundTruth(w.R, w.S, winLen)
+	results, err := JoinWindowed(w.R, w.S, WindowSpec{Kind: Tumbling, LengthMs: winLen}, Config{
+		Algorithm: "NPJ", Threads: 2, AtRest: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("no windows produced")
+	}
+	var total int64
+	for _, wr := range results {
+		if wr.Result.Matches != want[wr.Start] {
+			t.Fatalf("window %d: matches = %d, want %d", wr.Start, wr.Result.Matches, want[wr.Start])
+		}
+		total += wr.Result.Matches
+	}
+	if total != TotalMatches(results) {
+		t.Fatal("TotalMatches disagrees")
+	}
+	var wantTotal int64
+	for _, n := range want {
+		wantTotal += n
+	}
+	if total != wantTotal {
+		t.Fatalf("total = %d, want %d", total, wantTotal)
+	}
+}
+
+func TestJoinWindowedAcrossAlgorithms(t *testing.T) {
+	w := Micro(MicroConfig{RateR: 30, RateS: 30, WindowMs: 300, Dupe: 6, Seed: 43})
+	spec := WindowSpec{Kind: Tumbling, LengthMs: 100}
+	ref, err := JoinWindowed(w.R, w.S, spec, Config{Algorithm: "NPJ", Threads: 2, AtRest: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []string{"PRJ", "MPASS", "SHJ_JM", "PMJ_JB"} {
+		got, err := JoinWindowed(w.R, w.S, spec, Config{Algorithm: algo, Threads: 2, AtRest: true})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if TotalMatches(got) != TotalMatches(ref) {
+			t.Fatalf("%s: total = %d, want %d", algo, TotalMatches(got), TotalMatches(ref))
+		}
+	}
+}
+
+func TestJoinWindowedSession(t *testing.T) {
+	// Two bursts separated by silence: two session windows.
+	r := Relation{{TS: 0, Key: 1}, {TS: 1, Key: 2}, {TS: 50, Key: 3}}
+	s := Relation{{TS: 1, Key: 1}, {TS: 51, Key: 3}, {TS: 52, Key: 3}}
+	results, err := JoinWindowed(r, s, WindowSpec{Kind: Session, GapMs: 10}, Config{
+		Algorithm: "SHJ_JM", Threads: 1, AtRest: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if TotalMatches(results) != 3 {
+		t.Fatalf("total = %d, want 3 (1 in burst one, 2 in burst two)", TotalMatches(results))
+	}
+}
+
+func TestJoinWindowedSliding(t *testing.T) {
+	r := Relation{{TS: 0, Key: 1}, {TS: 7, Key: 2}}
+	s := Relation{{TS: 8, Key: 2}, {TS: 12, Key: 2}}
+	// Windows [0,10) and [5,15): key 2 pairs (7,8) in both windows and
+	// (7,12) in the second.
+	results, err := JoinWindowed(r, s, WindowSpec{Kind: Sliding, LengthMs: 10, SlideMs: 5}, Config{
+		Algorithm: "NPJ", Threads: 1, AtRest: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if TotalMatches(results) != 3 {
+		t.Fatalf("total = %d, want 3", TotalMatches(results))
+	}
+}
+
+func TestJoinWindowedBadSpec(t *testing.T) {
+	if _, err := JoinWindowed(nil, nil, WindowSpec{Kind: Tumbling}, Config{Algorithm: "NPJ"}); err == nil {
+		t.Fatal("invalid spec must error")
+	}
+}
+
+func TestJoinWindowedOneSidedWindows(t *testing.T) {
+	r := Relation{{TS: 0, Key: 1}}
+	s := Relation{{TS: 100, Key: 1}}
+	results, err := JoinWindowed(r, s, WindowSpec{Kind: Tumbling, LengthMs: 10}, Config{
+		Algorithm: "NPJ", Threads: 1, AtRest: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if TotalMatches(results) != 0 {
+		t.Fatal("tuples in different windows must not match")
+	}
+	if len(results) != 2 {
+		t.Fatalf("windows = %d, want 2 one-sided windows", len(results))
+	}
+}
+
+func TestJoinWindowedParallelMatchesSequential(t *testing.T) {
+	w := Micro(MicroConfig{RateR: 40, RateS: 40, WindowMs: 400, Dupe: 4, Seed: 47})
+	spec := WindowSpec{Kind: Tumbling, LengthMs: 50}
+	seq, err := JoinWindowed(w.R, w.S, spec, Config{Algorithm: "NPJ", Threads: 1, AtRest: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := JoinWindowedParallel(w.R, w.S, spec, Config{Algorithm: "NPJ", Threads: 1, AtRest: true}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(seq) {
+		t.Fatalf("window counts: %d vs %d", len(par), len(seq))
+	}
+	for i := range par {
+		if par[i].Start != seq[i].Start || par[i].Result.Matches != seq[i].Result.Matches {
+			t.Fatalf("window %d diverges: %+v vs %+v", i, par[i], seq[i])
+		}
+	}
+	// workers <= 1 falls through to the sequential path.
+	one, err := JoinWindowedParallel(w.R, w.S, spec, Config{Algorithm: "NPJ", Threads: 1, AtRest: true}, 1)
+	if err != nil || TotalMatches(one) != TotalMatches(seq) {
+		t.Fatalf("workers=1: %v %d vs %d", err, TotalMatches(one), TotalMatches(seq))
+	}
+}
+
+func TestJoinWindowedParallelPropagatesErrors(t *testing.T) {
+	r := Relation{{TS: 0, Key: 1}, {TS: 60, Key: 2}}
+	s := Relation{{TS: 1, Key: 1}, {TS: 61, Key: 2}}
+	_, err := JoinWindowedParallel(r, s, WindowSpec{Kind: Tumbling, LengthMs: 50}, Config{Algorithm: "NOPE"}, 2)
+	if err == nil {
+		t.Fatal("bad algorithm must surface an error")
+	}
+}

@@ -1,0 +1,64 @@
+package iawj
+
+import (
+	"repro/internal/gen"
+	"repro/internal/tuple"
+)
+
+// MicroConfig parameterizes the synthetic Micro workload (arrival rates,
+// window length, key duplication, key and timestamp skew); see gen.
+type MicroConfig = gen.MicroConfig
+
+// Workload is a named pair of input streams restricted to one window.
+type Workload = gen.Workload
+
+// Micro generates the tunable synthetic workload of Section 4.2.1.
+func Micro(cfg MicroConfig) Workload { return gen.Micro(cfg) }
+
+// MicroStatic generates the Section 5.5 static configuration: nR and nS
+// tuples, all instantly available.
+func MicroStatic(nR, nS, dupe int, keySkew float64, seed uint64) Workload {
+	return gen.MicroStatic(nR, nS, dupe, keySkew, seed)
+}
+
+// WorkloadScale shrinks the real-world workload sizes; 1 approximates the
+// paper's magnitudes, the default benchmarks use much smaller scales.
+type WorkloadScale = gen.Scale
+
+// Stock synthesizes the stock-exchange workload of Table 3: low, spiky
+// arrival rates with the highest key skew of the four.
+func Stock(sc WorkloadScale, seed uint64) Workload { return gen.Stock(sc, seed) }
+
+// Rovio synthesizes the ad/purchase workload: medium stable rates with
+// extreme key duplication.
+func Rovio(sc WorkloadScale, seed uint64) Workload { return gen.Rovio(sc, seed) }
+
+// YSB synthesizes the Yahoo streaming benchmark join: a static unique-key
+// campaigns table against a fast advertisement stream.
+func YSB(sc WorkloadScale, seed uint64) Workload { return gen.YSB(sc, seed) }
+
+// DEBS synthesizes the social-network join: both inputs at rest with high
+// duplication.
+func DEBS(sc WorkloadScale, seed uint64) Workload { return gen.DEBS(sc, seed) }
+
+// WorkloadByName builds a real-world workload from its paper name.
+func WorkloadByName(name string, sc WorkloadScale, seed uint64) (Workload, error) {
+	return gen.ByName(name, sc, seed)
+}
+
+// WorkloadNames lists the four real-world workloads in paper order.
+func WorkloadNames() []string { return gen.Names() }
+
+// Stats summarizes a relation's workload characteristics (Table 3).
+type Stats = tuple.Stats
+
+// Summarize computes the Table 3 statistics for a relation.
+func Summarize(r Relation) Stats { return r.Summarize() }
+
+// JoinWorkload joins a generated workload with cfg, filling the window
+// length and at-rest flag from the workload.
+func JoinWorkload(w Workload, cfg Config) (Result, error) {
+	cfg.WindowMs = w.WindowMs
+	cfg.AtRest = cfg.AtRest || w.AtRest
+	return Join(w.R, w.S, cfg)
+}
