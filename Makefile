@@ -1,0 +1,39 @@
+# Makefile — entry points for the CI gate and its individual stages.
+# `make check` is the whole gate (scripts/check.sh); the other targets run
+# one stage each for fast local iteration. See LINTING.md for the lint
+# rules and escape hatches.
+
+GO ?= go
+FUZZTIME ?= 5s
+
+.PHONY: check build test lint race fuzz-smoke fmt
+
+## check: run the full CI gate (fmt, vet, build, lint, test, race, fuzz)
+check:
+	FUZZTIME=$(FUZZTIME) ./scripts/check.sh
+
+## build: compile every package
+build:
+	$(GO) build ./...
+
+## test: tier-1 verify
+test:
+	$(GO) test ./...
+
+## lint: repo-specific static analysis (cmd/iawjlint)
+lint:
+	$(GO) run ./cmd/iawjlint ./...
+
+## race: full test suite under the race detector
+race:
+	$(GO) test -race ./...
+
+## fuzz-smoke: short fuzz run on the gen/ingest parsers
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz='^FuzzReadCSV$$' -fuzztime=$(FUZZTIME) ./internal/gen
+	$(GO) test -run='^$$' -fuzz='^FuzzReadStream$$' -fuzztime=$(FUZZTIME) ./internal/ingest
+	$(GO) test -run='^$$' -fuzz='^FuzzReadBinary$$' -fuzztime=$(FUZZTIME) ./internal/ingest
+
+## fmt: apply gofmt to the tree
+fmt:
+	gofmt -w .

@@ -1,0 +1,195 @@
+// Command iawjlint runs the repo-specific static analyzers over package
+// directories and reports findings with file:line positions. It is the
+// lint stage of the CI gate (scripts/check.sh): a non-zero exit means at
+// least one finding survived the allowlists.
+//
+// Usage:
+//
+//	iawjlint [flags] [pattern ...]
+//
+// Patterns are directories; a trailing /... walks recursively (testdata,
+// vendor, and hidden directories are skipped, mirroring the go tool).
+// With no pattern, ./... is assumed.
+//
+// Flags:
+//
+//	-rules r1,r2   run only the named rules
+//	-tests         also lint _test.go files
+//	-list          print the available rules and exit
+//
+// Escape hatches: a `//lint:allow <rule> <reason>` comment on (or directly
+// above) the offending line, or the per-rule path allowlist baked into
+// internal/lint for sanctioned packages such as internal/clock. See
+// LINTING.md for the rule catalogue.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the driver and returns the process exit code: 0 clean,
+// 1 findings, 2 usage or load errors.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("iawjlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rules := fs.String("rules", "", "comma-separated rule names to run (default: all)")
+	tests := fs.Bool("tests", false, "also lint _test.go files")
+	list := fs.Bool("list", false, "print the available rules and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name(), a.Doc())
+		}
+		return 0
+	}
+	analyzers, err := selectAnalyzers(*rules)
+	if err != nil {
+		fmt.Fprintf(stderr, "iawjlint: %v\n", err)
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "iawjlint: %v\n", err)
+		return 2
+	}
+	root := moduleRoot(cwd)
+	dirs, err := resolve(patterns, cwd)
+	if err != nil {
+		fmt.Fprintf(stderr, "iawjlint: %v\n", err)
+		return 2
+	}
+	runner := &lint.Runner{Analyzers: analyzers}
+	findings := 0
+	for _, dir := range dirs {
+		pkg, err := lint.Load(dir, root, *tests)
+		if err != nil {
+			fmt.Fprintf(stderr, "iawjlint: %v\n", err)
+			return 2
+		}
+		for _, f := range runner.Check(pkg) {
+			findings++
+			fmt.Fprintf(stdout, "%s:%d:%d: %s [%s]: %s\n",
+				relPath(cwd, f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Sev, f.Rule, f.Msg)
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(stderr, "iawjlint: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers filters the registry by the -rules flag.
+func selectAnalyzers(rules string) ([]lint.Analyzer, error) {
+	all := lint.All()
+	if rules == "" {
+		return all, nil
+	}
+	byName := map[string]lint.Analyzer{}
+	for _, a := range all {
+		byName[a.Name()] = a
+	}
+	var out []lint.Analyzer
+	seen := map[string]bool{}
+	for _, name := range strings.Split(rules, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown rule %q (try -list)", name)
+		}
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, a)
+		}
+	}
+	return out, nil
+}
+
+// resolve expands patterns into package directories.
+func resolve(patterns []string, cwd string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if strings.HasSuffix(pat, "/...") {
+			recursive = true
+			pat = strings.TrimSuffix(pat, "/...")
+			if pat == "." || pat == "" {
+				pat = cwd
+			}
+		}
+		if !filepath.IsAbs(pat) {
+			pat = filepath.Join(cwd, pat)
+		}
+		info, err := os.Stat(pat)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			return nil, fmt.Errorf("%s is not a directory", pat)
+		}
+		if recursive {
+			walked, err := lint.Walk(pat)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range walked {
+				add(d)
+			}
+		} else {
+			add(pat)
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// moduleRoot walks up from dir to the directory containing go.mod,
+// falling back to dir itself.
+func moduleRoot(dir string) string {
+	d := dir
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return dir
+		}
+		d = parent
+	}
+}
+
+// relPath renders a path relative to the working directory when possible,
+// keeping driver output stable across checkouts.
+func relPath(cwd, path string) string {
+	rel, err := filepath.Rel(cwd, path)
+	if err != nil {
+		return path
+	}
+	return filepath.ToSlash(rel)
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/golden.txt from current output")
+
+const fixture = "../../internal/lint/testdata/src/fixture"
+
+// TestGolden pins the CLI surface: running the driver over the seeded
+// fixture package must produce byte-identical diagnostics and exit 1.
+func TestGolden(t *testing.T) {
+	var out, errs bytes.Buffer
+	code := run([]string{fixture}, &out, &errs)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, errs.String())
+	}
+	if *update {
+		if err := os.WriteFile("testdata/golden.txt", out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	golden, err := os.ReadFile("testdata/golden.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != string(golden) {
+		t.Errorf("output differs from golden (re-run with -update after reviewing):\n--- got ---\n%s--- want ---\n%s", out.String(), golden)
+	}
+	if !strings.Contains(errs.String(), "finding(s)") {
+		t.Errorf("stderr summary missing, got %q", errs.String())
+	}
+}
+
+// TestEachRuleTripsNonZero is the acceptance criterion: every rule, run
+// alone, must exit non-zero on its seeded fixture violation.
+func TestEachRuleTripsNonZero(t *testing.T) {
+	for _, rule := range []string{"determinism", "lockdiscipline", "goroutineleak", "hotpathalloc", "panicpolicy"} {
+		t.Run(rule, func(t *testing.T) {
+			var out, errs bytes.Buffer
+			code := run([]string{"-rules", rule, fixture}, &out, &errs)
+			if code != 1 {
+				t.Errorf("exit code = %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errs.String())
+			}
+			if !strings.Contains(out.String(), "["+rule+"]") {
+				t.Errorf("no %s finding in output:\n%s", rule, out.String())
+			}
+		})
+	}
+}
+
+// TestRepoTreeExitsZero is the other acceptance criterion: the real tree
+// (testdata excluded by the walk) must lint clean.
+func TestRepoTreeExitsZero(t *testing.T) {
+	var out, errs bytes.Buffer
+	if code := run([]string{"../../..."}, &out, &errs); code != 0 {
+		t.Errorf("exit code = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errs.String())
+	}
+}
+
+// TestUnknownRule rejects typos instead of silently linting nothing.
+func TestUnknownRule(t *testing.T) {
+	var out, errs bytes.Buffer
+	if code := run([]string{"-rules", "nosuchrule", fixture}, &out, &errs); code != 2 {
+		t.Errorf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errs.String(), "unknown rule") {
+		t.Errorf("stderr = %q, want unknown-rule error", errs.String())
+	}
+}
+
+// TestListRules keeps -list in sync with the registry.
+func TestListRules(t *testing.T) {
+	var out, errs bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errs); code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	for _, rule := range []string{"determinism", "lockdiscipline", "goroutineleak", "hotpathalloc", "panicpolicy"} {
+		if !strings.Contains(out.String(), rule) {
+			t.Errorf("-list output missing %s:\n%s", rule, out.String())
+		}
+	}
+}

@@ -100,6 +100,51 @@ func (c *Static) Avail(int64) bool { return true }
 // AtRest implements Source.
 func (c *Static) AtRest() bool { return true }
 
+// Stopwatch measures real elapsed time for metrics attribution (phase
+// breakdowns, wall-clock totals). It is the sanctioned wall-clock wrapper:
+// algorithm and harness code measures durations through a Stopwatch
+// instead of calling time.Now directly, so the determinism lint rule can
+// keep raw wall-clock reads out of the kernels.
+type Stopwatch struct {
+	start time.Time
+}
+
+// StartStopwatch starts measuring now.
+func StartStopwatch() Stopwatch { return Stopwatch{start: time.Now()} }
+
+// ElapsedNs is the real time elapsed since the stopwatch started.
+func (s Stopwatch) ElapsedNs() int64 { return int64(time.Since(s.start)) }
+
+// Pacer schedules real-time emission of timestamped tuples: tuple
+// timestamps are interpreted as milliseconds scaled by nsPerMs real
+// nanoseconds each, anchored at the pacer's creation. It is the sanctioned
+// wall-clock wrapper for replay/transmission pacing (internal/ingest).
+type Pacer struct {
+	start   time.Time
+	nsPerMs float64
+}
+
+// NewPacer starts a pacer; nsPerMs must be positive (1e6 is real time).
+func NewPacer(nsPerMs float64) *Pacer {
+	if nsPerMs <= 0 {
+		nsPerMs = 1e6
+	}
+	return &Pacer{start: time.Now(), nsPerMs: nsPerMs}
+}
+
+// Behind reports how much real time remains until the tuple stamped tsMs
+// is due; zero or negative means it is due now.
+func (p *Pacer) Behind(tsMs int64) time.Duration {
+	return time.Duration(float64(tsMs)*p.nsPerMs) - time.Since(p.start)
+}
+
+// Pace blocks until the tuple stamped tsMs is due.
+func (p *Pacer) Pace(tsMs int64) {
+	if wait := p.Behind(tsMs); wait > 0 {
+		time.Sleep(wait)
+	}
+}
+
 // Manual is a deterministic Source for tests: time advances only when the
 // test calls Advance or Set.
 type Manual struct {

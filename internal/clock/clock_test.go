@@ -89,3 +89,41 @@ func TestStaticClock(t *testing.T) {
 	}
 	var _ Source = c
 }
+
+func TestStopwatch(t *testing.T) {
+	sw := StartStopwatch()
+	time.Sleep(time.Millisecond)
+	first := sw.ElapsedNs()
+	if first < int64(time.Millisecond) {
+		t.Fatalf("ElapsedNs = %d after sleeping 1ms", first)
+	}
+	if again := sw.ElapsedNs(); again < first {
+		t.Fatalf("ElapsedNs went backwards: %d then %d", first, again)
+	}
+}
+
+func TestPacerPacesDueTimestamps(t *testing.T) {
+	p := NewPacer(1e5) // 0.1ms real per simulated ms
+	sw := StartStopwatch()
+	p.Pace(10) // due at 1ms real
+	if got := sw.ElapsedNs(); got < int64(time.Millisecond) {
+		t.Fatalf("Pace(10) returned after %dns, want >= 1ms", got)
+	}
+	if p.Behind(0) > 0 {
+		t.Fatal("timestamp 0 must be due immediately")
+	}
+	// Past timestamps return without sleeping: the pacer only waits for
+	// the future.
+	sw = StartStopwatch()
+	p.Pace(1)
+	if got := sw.ElapsedNs(); got > int64(50*time.Millisecond) {
+		t.Fatalf("Pace on an overdue timestamp slept %dns", got)
+	}
+}
+
+func TestPacerDefaultRate(t *testing.T) {
+	p := NewPacer(0)
+	if p.nsPerMs != 1e6 {
+		t.Fatalf("nsPerMs = %v, want real-time default 1e6", p.nsPerMs)
+	}
+}

@@ -243,11 +243,11 @@ func Run(alg Algorithm, r, s tuple.Relation, windowMs int64, cfg RunConfig) (met
 		Tracer:   cfg.Tracer,
 		Emit:     cfg.Emit,
 	}
-	start := time.Now()
+	sw := clock.StartStopwatch()
 	if err := alg.Run(ctx); err != nil {
 		return metrics.Result{}, fmt.Errorf("core: %s: %w", alg.Name(), err)
 	}
-	wall := time.Since(start).Nanoseconds()
+	wall := sw.ElapsedNs()
 	res := ctx.M.Snapshot(alg.Name(), int64(len(r)+len(s)), wall)
 	return res, nil
 }

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/cachesim"
+	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/tuple"
@@ -152,6 +153,8 @@ func (c *cursor) done() bool { return c.idx >= len(c.rel) }
 // cursor, appending them to buf and advancing past non-owned tuples too.
 // It returns the filled buffer and whether the scan stopped because the
 // next tuple has not arrived yet.
+//
+//iawj:hotpath
 func (c *cursor) batch(buf []tuple.Tuple, max int, nowMs int64, atRest bool, owns func(i int, t tuple.Tuple) bool, physical bool) ([]tuple.Tuple, bool) {
 	taken := 0
 	for c.idx < len(c.rel) && taken < max {
@@ -227,7 +230,7 @@ func (p phaseTimer) time(ph metrics.Phase, fn func()) {
 	if p.ctx.Tracer != nil {
 		p.ctx.SetPhase(ph)
 	}
-	start := time.Now()
+	sw := clock.StartStopwatch()
 	fn()
-	p.tm.AddPhaseNs(ph, time.Since(start).Nanoseconds())
+	p.tm.AddPhaseNs(ph, sw.ElapsedNs())
 }

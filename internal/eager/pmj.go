@@ -98,10 +98,13 @@ func (ru *run) load() (r, s tuple.Relation, err error) {
 	return r, s, nil
 }
 
-// Run implements core.Algorithm.
+// Run implements core.Algorithm. The worker loop covers the sort-seal
+// inner loop and the run-pair merge of Figure 1b.
+//
+//iawj:hotpath
 func (a PMJ) Run(ctx *core.ExecContext) error {
 	if g := ctx.Knobs.GroupSize; g > ctx.Threads {
-		return fmt.Errorf("eager: group size %d exceeds %d threads", g, ctx.Threads)
+		return fmt.Errorf("eager: group size %d exceeds %d threads", g, ctx.Threads) //lint:allow hotpathalloc entry validation, not per-tuple
 	}
 	atRest := ctx.Clock.AtRest()
 	bsz := batchSize(ctx)
@@ -161,7 +164,7 @@ func (a PMJ) Run(ctx *core.ExecContext) error {
 			if spillDir != "" {
 				pt.time(metrics.PhaseOther, func() {
 					if err := ru.spill(spillDir); err != nil {
-						fail(fmt.Errorf("eager: pmj spill: %w", err))
+						fail(fmt.Errorf("eager: pmj spill: %w", err)) //lint:allow hotpathalloc error path, not per-tuple
 					}
 				})
 			} else {
@@ -204,7 +207,7 @@ func (a PMJ) Run(ctx *core.ExecContext) error {
 			for i := range runs {
 				ri, _, err := runs[i].load()
 				if err != nil {
-					fail(fmt.Errorf("eager: pmj reload: %w", err))
+					fail(fmt.Errorf("eager: pmj reload: %w", err)) //lint:allow hotpathalloc error path, not per-tuple
 					return
 				}
 				for j := range runs {
@@ -213,7 +216,7 @@ func (a PMJ) Run(ctx *core.ExecContext) error {
 					}
 					_, sj, err := runs[j].load()
 					if err != nil {
-						fail(fmt.Errorf("eager: pmj reload: %w", err))
+						fail(fmt.Errorf("eager: pmj reload: %w", err)) //lint:allow hotpathalloc error path, not per-tuple
 						return
 					}
 					sortmerge.MergeJoin(ri, sj, func(r, s tuple.Tuple) { sink.Match(r, s) }, ctx.Tracer, 0, 0)

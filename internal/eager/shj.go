@@ -43,7 +43,10 @@ func (SHJ) validate(ctx *core.ExecContext) error {
 	return nil
 }
 
-// Run implements core.Algorithm.
+// Run implements core.Algorithm. The worker loop is the interleaved
+// build/probe inner loop of Figure 1a.
+//
+//iawj:hotpath
 func (a SHJ) Run(ctx *core.ExecContext) error {
 	if err := a.validate(ctx); err != nil {
 		return err

@@ -64,8 +64,8 @@ func (o *Options) defaults() {
 // Algorithms lists the eight studied algorithms in Table 2 order.
 var Algorithms = []string{"NPJ", "PRJ", "MWAY", "MPASS", "SHJ_JM", "SHJ_JB", "PMJ_JM", "PMJ_JB"}
 
-// newAlg instantiates an algorithm by name; exp only uses known names.
-func newAlg(name string) core.Algorithm {
+// mustAlg instantiates an algorithm by name; exp only uses known names.
+func mustAlg(name string) core.Algorithm {
 	switch name {
 	case "NPJ":
 		return lazy.NPJ{}
@@ -101,7 +101,7 @@ func run(o *Options, w gen.Workload, name string, knobs core.Knobs) (metrics.Res
 	// the overall comparison; apply the experimentally determined
 	// defaults (SIMD on for the sort kernels; #r and δ default in core).
 	cfg.Knobs.SIMD = true
-	return core.Run(newAlg(name), w.R, w.S, w.WindowMs, cfg)
+	return core.Run(mustAlg(name), w.R, w.S, w.WindowMs, cfg)
 }
 
 // header prints an experiment banner.

@@ -234,7 +234,7 @@ func runScalarBest(o *Options, w gen.Workload, name string) (metrics.Result, err
 	var best metrics.Result
 	var bestCost int64 = -1
 	for rep := 0; rep < 3; rep++ {
-		res, err := core.Run(newAlg(name), w.R, w.S, w.WindowMs, core.RunConfig{
+		res, err := core.Run(mustAlg(name), w.R, w.S, w.WindowMs, core.RunConfig{
 			Threads:    o.Threads,
 			NsPerSimMs: o.NsPerSimMs,
 			AtRest:     w.AtRest,

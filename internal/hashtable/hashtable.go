@@ -78,6 +78,8 @@ func (t *Table) SetTracer(tr cachesim.Tracer, base uint64) {
 // head restarts empty — the head-insertion scheme of the original
 // bucket-chain design. High key duplication still produces long chains,
 // whose cost is paid where the paper measures it: during probe walks.
+//
+//iawj:hotpath
 func (t *Table) Insert(x tuple.Tuple) {
 	idx := Hash(x.Key) & t.mask
 	b := &t.buckets[idx]
@@ -103,6 +105,8 @@ func (t *Table) Insert(x tuple.Tuple) {
 
 // Probe walks the chain for key and calls emit for every stored tuple with
 // that key. It returns the number of matches.
+//
+//iawj:hotpath
 func (t *Table) Probe(key int32, emit func(tuple.Tuple)) int {
 	idx := Hash(key) & t.mask
 	b := &t.buckets[idx]
@@ -178,6 +182,8 @@ func NewShared(n int) *Shared {
 
 // Insert adds a tuple under the bucket latch with the same O(1)
 // head-insertion scheme as Table.Insert.
+//
+//iawj:hotpath
 func (t *Shared) Insert(x tuple.Tuple) {
 	idx := Hash(x.Key) & t.mask
 	sb := &t.buckets[idx]
@@ -206,6 +212,8 @@ func (t *Shared) Insert(x tuple.Tuple) {
 
 // Probe is latch-free: the build and probe phases are separated by a
 // barrier (as in NPJ), so probes observe a quiesced table.
+//
+//iawj:hotpath
 func (t *Shared) Probe(key int32, emit func(tuple.Tuple)) int {
 	idx := Hash(key) & t.mask
 	b := &t.buckets[idx].bucket

@@ -15,8 +15,8 @@ import (
 	"fmt"
 	"io"
 	"net"
-	"time"
 
+	"repro/internal/clock"
 	"repro/internal/tuple"
 )
 
@@ -85,12 +85,9 @@ func Replay(rel tuple.Relation, nsPerMs float64, emit func(tuple.Tuple)) int {
 		}
 		return len(rel)
 	}
-	start := time.Now()
+	pacer := clock.NewPacer(nsPerMs)
 	for _, t := range rel {
-		due := time.Duration(float64(t.TS) * nsPerMs)
-		if wait := due - time.Since(start); wait > 0 {
-			time.Sleep(wait)
-		}
+		pacer.Pace(t.TS)
 		emit(t)
 	}
 	return len(rel)
@@ -158,14 +155,14 @@ func Send(addr string, tag byte, rel tuple.Relation, nsPerMs float64) error {
 		return err
 	}
 	buf := make([]byte, 0, tuple.BinarySize)
-	start := time.Now()
+	pacer := clock.NewPacer(nsPerMs)
 	for _, t := range rel {
-		due := time.Duration(float64(t.TS) * nsPerMs)
-		if wait := due - time.Since(start); wait > 0 {
+		if pacer.Behind(t.TS) > 0 {
+			// Drain buffered frames to the peer before stalling.
 			if err := bw.Flush(); err != nil {
 				return err
 			}
-			time.Sleep(wait)
+			pacer.Pace(t.TS)
 		}
 		buf = tuple.AppendBinary(buf[:0], t)
 		if _, err := bw.Write(buf); err != nil {

@@ -43,7 +43,10 @@ func (NPJ) Approach() core.Approach { return core.Lazy }
 // Method implements core.Algorithm.
 func (NPJ) Method() core.JoinMethod { return core.HashJoin }
 
-// Run implements core.Algorithm.
+// Run implements core.Algorithm. The build and probe loops over the
+// shared table are NPJ's hot path.
+//
+//iawj:hotpath
 func (a NPJ) Run(ctx *core.ExecContext) error {
 	var table sharedTable
 	if a.LockFree {

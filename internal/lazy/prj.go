@@ -29,7 +29,10 @@ func (PRJ) Approach() core.Approach { return core.Lazy }
 // Method implements core.Algorithm.
 func (PRJ) Method() core.JoinMethod { return core.HashJoin }
 
-// Run implements core.Algorithm.
+// Run implements core.Algorithm. The per-partition build and probe loops
+// are PRJ's hot path.
+//
+//iawj:hotpath
 func (PRJ) Run(ctx *core.ExecContext) error {
 	bits := ctx.Knobs.RadixBits
 	fanout := radix.Fanout(bits)

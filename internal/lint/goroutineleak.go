@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// GoroutineLeak flags a `go` statement whose enclosing function shows no
+// visible join: no .Wait() call (sync.WaitGroup or errgroup style), no
+// channel receive, and no select statement. A worker launched without a
+// join outlives the measurement it contributes to — matches land after the
+// metrics snapshot, which is exactly the nondeterminism the experiment
+// harness must exclude.
+//
+// The join may be anywhere in the enclosing body (including helper
+// closures that are invoked inline), but the launched goroutine's own body
+// does not count: a receive inside the leaked goroutine does not join it.
+type GoroutineLeak struct{}
+
+// Name implements Analyzer.
+func (GoroutineLeak) Name() string { return "goroutineleak" }
+
+// Doc implements Analyzer.
+func (GoroutineLeak) Doc() string {
+	return "go statements need a visible join (.Wait(), channel receive, or select) in the enclosing function"
+}
+
+// Severity implements Analyzer.
+func (GoroutineLeak) Severity() Severity { return Error }
+
+// Check implements Analyzer.
+func (GoroutineLeak) Check(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		forEachFuncBody(f, func(fn ast.Node, ftype *ast.FuncType, body *ast.BlockStmt) {
+			var gos []*ast.GoStmt
+			walkShallow(body, func(n ast.Node) {
+				if g, ok := n.(*ast.GoStmt); ok {
+					gos = append(gos, g)
+				}
+			})
+			if len(gos) == 0 {
+				return
+			}
+			if hasJoin(body, gos) {
+				return
+			}
+			for _, g := range gos {
+				out = append(out, Finding{
+					Rule: "goroutineleak",
+					Sev:  Error,
+					Pos:  p.Fset.Position(g.Pos()),
+					Msg:  "goroutine launched without a visible join (.Wait(), channel receive, or select) in the enclosing function",
+				})
+			}
+		})
+	}
+	return out
+}
+
+// hasJoin reports whether body contains a join construct outside the
+// launched goroutines' own function literals.
+func hasJoin(body *ast.BlockStmt, gos []*ast.GoStmt) bool {
+	launched := map[ast.Node]bool{}
+	for _, g := range gos {
+		if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+			launched[lit] = true
+		}
+	}
+	join := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if join || launched[n] {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				join = true
+			}
+		case *ast.SelectStmt:
+			join = true
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				join = true
+			}
+		}
+		return !join
+	})
+	return join
+}

@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// HotPathAlloc flags heap-allocating constructs inside functions annotated
+// `//iawj:hotpath` — the probe/build inner loops of the join kernels,
+// where a per-tuple allocation turns a memory-bound kernel into a
+// GC-bound one and skews every Figure the harness reproduces.
+//
+// Flagged constructs:
+//
+//   - append whose target is not declared inside the annotated function
+//     (growing a captured or package-level slice from the inner loop);
+//   - fmt.Sprintf / Sprint / Sprintln / Errorf (formatting allocates);
+//   - map creation (make(map...) or a map composite literal).
+//
+// Appends to locally declared buffers are the kernels' bread and butter
+// and are not flagged.
+type HotPathAlloc struct{}
+
+// Name implements Analyzer.
+func (HotPathAlloc) Name() string { return "hotpathalloc" }
+
+// Doc implements Analyzer.
+func (HotPathAlloc) Doc() string {
+	return "no captured-slice append, fmt.Sprintf, or map creation in //iawj:hotpath functions"
+}
+
+// Severity implements Analyzer.
+func (HotPathAlloc) Severity() Severity { return Error }
+
+// HotPathMarker is the annotation that opts a function into this rule.
+const HotPathMarker = "//iawj:hotpath"
+
+// fmtAllocFuncs are the fmt formatters that always allocate their result.
+var fmtAllocFuncs = map[string]bool{
+	"Sprintf": true, "Sprint": true, "Sprintln": true, "Errorf": true,
+}
+
+// Check implements Analyzer.
+func (a HotPathAlloc) Check(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		imports := importNames(f)
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isHotPath(fn) {
+				continue
+			}
+			out = append(out, a.checkHotFunc(p, fn, imports)...)
+		}
+	}
+	return out
+}
+
+// isHotPath reports whether the declaration carries the hotpath marker in
+// its doc comment.
+func isHotPath(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.TrimSpace(c.Text) == HotPathMarker {
+			return true
+		}
+	}
+	return false
+}
+
+// checkHotFunc scans one annotated function, including its nested
+// closures, which execute on the same hot path.
+func (HotPathAlloc) checkHotFunc(p *Package, fn *ast.FuncDecl, imports map[string]string) []Finding {
+	var out []Finding
+	flag := func(pos token.Pos, msg string) {
+		out = append(out, Finding{
+			Rule: "hotpathalloc",
+			Sev:  Error,
+			Pos:  p.Fset.Position(pos),
+			Msg:  msg,
+		})
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if name, ok := pkgCall(n, imports, "fmt"); ok && fmtAllocFuncs[name] {
+				flag(n.Pos(), fmt.Sprintf("fmt.%s allocates in a //iawj:hotpath function", name))
+				return true
+			}
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				switch fun.Name {
+				case "append":
+					if len(n.Args) > 0 && capturedTarget(p, fn, n.Args[0]) {
+						flag(n.Pos(), "append grows a captured slice in a //iawj:hotpath function; use a local buffer")
+					}
+				case "make":
+					if len(n.Args) > 0 {
+						if _, isMap := n.Args[0].(*ast.MapType); isMap {
+							flag(n.Pos(), "map creation in a //iawj:hotpath function")
+						}
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			if _, isMap := n.Type.(*ast.MapType); isMap {
+				flag(n.Pos(), "map literal in a //iawj:hotpath function")
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// capturedTarget reports whether the append target's root identifier is
+// declared outside the annotated function — a captured variable or a
+// package-level slice. Unresolvable identifiers are not flagged
+// (conservative under partial type information).
+func capturedTarget(p *Package, fn *ast.FuncDecl, target ast.Expr) bool {
+	id := rootIdent(target)
+	if id == nil {
+		return false
+	}
+	obj := p.Info.Uses[id]
+	if obj == nil {
+		obj = p.Info.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() < fn.Pos() || obj.Pos() > fn.End()
+}
+
+// rootIdent unwraps selector/index/slice expressions to the base
+// identifier, e.g. s.runs[i] -> s.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,355 @@
+// Package lint is the repo-specific static-analysis engine guarding the
+// reproduction's correctness invariants: determinism (simulated time flows
+// through internal/clock, never raw wall-clock reads), lock discipline,
+// goroutine join discipline, allocation-free hot paths, and the panic
+// policy for library code.
+//
+// The engine is stdlib-only (go/ast, go/parser, go/types). Analyzers are
+// syntactic-first with best-effort type information: each package is
+// type-checked in isolation against stub imports, which resolves all
+// locally declared objects — enough for scope questions like "is this
+// append target captured?" — without needing export data for dependencies.
+//
+// Two escape hatches exist for sanctioned violations:
+//
+//   - a `//lint:allow <rule> <reason>` comment on the offending line or
+//     the line directly above it, and
+//   - a per-rule path allowlist (DefaultPathAllow) for whole packages
+//     whose job is the violation, e.g. internal/clock wrapping time.Now.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Severity ranks findings; any finding fails the CI gate, the rank only
+// orders reports.
+type Severity int
+
+// Error findings are correctness hazards; Warn findings are hygiene.
+const (
+	Warn Severity = iota
+	Error
+)
+
+func (s Severity) String() string {
+	if s == Error {
+		return "error"
+	}
+	return "warn"
+}
+
+// Finding is one diagnostic with a stable position.
+type Finding struct {
+	Rule string
+	Sev  Severity
+	Pos  token.Position
+	Msg  string
+}
+
+// Analyzer is one repo-specific rule.
+type Analyzer interface {
+	// Name is the rule identifier used by //lint:allow and -rules.
+	Name() string
+	// Doc is a one-line description for the driver's -help output.
+	Doc() string
+	// Severity is the default rank of this rule's findings.
+	Severity() Severity
+	// Check reports the rule's findings for one package.
+	Check(p *Package) []Finding
+}
+
+// All returns every analyzer in reporting order.
+func All() []Analyzer {
+	return []Analyzer{
+		Determinism{},
+		LockDiscipline{},
+		GoroutineLeak{},
+		HotPathAlloc{},
+		PanicPolicy{},
+	}
+}
+
+// DefaultPathAllow maps rule name to slash-separated path prefixes
+// (relative to the module root) where the rule does not apply: sanctioned
+// call sites whose whole purpose is the flagged construct.
+var DefaultPathAllow = map[string][]string{
+	// internal/clock is the one sanctioned wall-clock wrapper; the
+	// metrics harness measures real elapsed time by design.
+	"determinism": {"internal/clock", "internal/metrics"},
+}
+
+// Package is one parsed directory of non-test Go files plus best-effort
+// type information.
+type Package struct {
+	// Dir is the absolute directory.
+	Dir string
+	// Rel is the slash path relative to the module root ("" at the
+	// root); path allowlists match against it.
+	Rel string
+	// Fset positions all files.
+	Fset *token.FileSet
+	// Files holds the parsed files in filename order.
+	Files []*ast.File
+	// Info carries Defs/Uses from the permissive type-check; lookups
+	// may miss for identifiers that depend on unresolved imports.
+	Info *types.Info
+}
+
+// stubImporter satisfies go/types with empty placeholder packages so a
+// package can be checked without export data; selector errors on those
+// stubs are discarded by the permissive config.
+type stubImporter struct{ cache map[string]*types.Package }
+
+func (si stubImporter) Import(path string) (*types.Package, error) {
+	if p, ok := si.cache[path]; ok {
+		return p, nil
+	}
+	name := path
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		name = path[i+1:]
+	}
+	p := types.NewPackage(path, name)
+	p.MarkComplete()
+	si.cache[path] = p
+	return p, nil
+}
+
+// Load parses every non-test .go file in dir into a Package. root anchors
+// the Rel path; includeTests additionally parses _test.go files.
+func Load(dir, root string, includeTests bool) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if !includeTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil || rel == "." {
+		rel = ""
+	}
+	p := &Package{
+		Dir:   dir,
+		Rel:   filepath.ToSlash(rel),
+		Fset:  fset,
+		Files: files,
+		Info: &types.Info{
+			Defs: map[*ast.Ident]types.Object{},
+			Uses: map[*ast.Ident]types.Object{},
+		},
+	}
+	conf := types.Config{
+		Importer:    stubImporter{cache: map[string]*types.Package{}},
+		Error:       func(error) {}, // stub imports guarantee errors; ignore them
+		FakeImportC: true,
+	}
+	// The check is best-effort: local declarations resolve even when
+	// imported names cannot, so its error is expected and discarded.
+	conf.Check(p.Rel, fset, files, p.Info)
+	return p, nil
+}
+
+// Walk returns every package directory under root, skipping testdata,
+// vendor, and hidden directories — mirroring the go tool's ./... pattern.
+func Walk(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// allowRe matches the escape-hatch comment: //lint:allow <rule> <reason>.
+var allowRe = regexp.MustCompile(`^//lint:allow\s+([a-z]+)(?:\s+(.*))?$`)
+
+// allows collects, per file line, the set of rules allowed by escape-hatch
+// comments in the package. An allow comment suppresses findings on its own
+// line and on the line directly below it.
+func (p *Package) allows() map[string]map[int][]string {
+	out := map[string]map[int][]string{}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				byLine := out[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]string{}
+					out[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], m[1])
+			}
+		}
+	}
+	return out
+}
+
+// allowed reports whether rule is suppressed at the finding position.
+func allowed(allows map[string]map[int][]string, rule string, pos token.Position) bool {
+	byLine := allows[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, r := range byLine[line] {
+			if r == rule {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// pathAllowed reports whether the rule is allowlisted for the package's
+// module-relative path.
+func pathAllowed(pathAllow map[string][]string, rule, rel string) bool {
+	for _, prefix := range pathAllow[rule] {
+		if rel == prefix || strings.HasPrefix(rel, prefix+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Runner applies a set of analyzers with the escape-hatch filters.
+type Runner struct {
+	Analyzers []Analyzer
+	// PathAllow overrides DefaultPathAllow when non-nil.
+	PathAllow map[string][]string
+}
+
+// Check runs every analyzer over the package and returns the surviving
+// findings sorted by position.
+func (r *Runner) Check(p *Package) []Finding {
+	if p == nil {
+		return nil
+	}
+	analyzers := r.Analyzers
+	if analyzers == nil {
+		analyzers = All()
+	}
+	pathAllow := r.PathAllow
+	if pathAllow == nil {
+		pathAllow = DefaultPathAllow
+	}
+	allows := p.allows()
+	var out []Finding
+	for _, a := range analyzers {
+		if pathAllowed(pathAllow, a.Name(), p.Rel) {
+			continue
+		}
+		for _, f := range a.Check(p) {
+			if allowed(allows, f.Rule, f.Pos) {
+				continue
+			}
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	return out
+}
+
+// importNames maps each file-local import name to its import path,
+// resolving renames; dot and blank imports are skipped.
+func importNames(f *ast.File) map[string]string {
+	out := map[string]string{}
+	for _, imp := range f.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		name := path
+		if i := strings.LastIndex(path, "/"); i >= 0 {
+			name = path[i+1:]
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "." || imp.Name.Name == "_" {
+				continue
+			}
+			name = imp.Name.Name
+		}
+		out[name] = path
+	}
+	return out
+}
+
+// pkgCall matches a call of the form name.Sel(...) where name is a
+// file-local import name; it returns the selector name.
+func pkgCall(call *ast.CallExpr, imports map[string]string, wantPath ...string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	path, ok := imports[id.Name]
+	if !ok {
+		return "", false
+	}
+	for _, w := range wantPath {
+		if path == w {
+			return sel.Sel.Name, true
+		}
+	}
+	return "", false
+}

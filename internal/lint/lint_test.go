@@ -1,0 +1,196 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"sort"
+	"testing"
+)
+
+// fixtureDir is the package seeded with one violation of every rule.
+func fixtureDir(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs(filepath.Join("testdata", "src", "fixture"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+// repoRoot walks up to go.mod.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}
+
+func loadFixture(t *testing.T) *Package {
+	t.Helper()
+	p, err := Load(fixtureDir(t), repoRoot(t), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p == nil {
+		t.Fatal("fixture package is empty")
+	}
+	return p
+}
+
+var wantRe = regexp.MustCompile(`// want ([a-z]+)`)
+
+// wantLines returns the marker lines for one rule in one fixture file.
+func wantLines(t *testing.T, file, rule string) []int {
+	t.Helper()
+	f, err := os.Open(filepath.Join(fixtureDir(t), file))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var lines []int
+	sc := bufio.NewScanner(f)
+	for n := 1; sc.Scan(); n++ {
+		for _, m := range wantRe.FindAllStringSubmatch(sc.Text(), -1) {
+			if m[1] == rule {
+				lines = append(lines, n)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return lines
+}
+
+// TestAnalyzersAgainstFixtures is the table-driven core: every analyzer
+// must report exactly the `// want <rule>` markers of its fixture file —
+// no misses, no extras.
+func TestAnalyzersAgainstFixtures(t *testing.T) {
+	pkg := loadFixture(t)
+	table := []struct {
+		analyzer Analyzer
+		file     string
+	}{
+		{Determinism{}, "determinism.go"},
+		{LockDiscipline{}, "lockdiscipline.go"},
+		{GoroutineLeak{}, "goroutineleak.go"},
+		{HotPathAlloc{}, "hotpathalloc.go"},
+		{PanicPolicy{}, "panicpolicy.go"},
+	}
+	for _, tc := range table {
+		t.Run(tc.analyzer.Name(), func(t *testing.T) {
+			runner := &Runner{Analyzers: []Analyzer{tc.analyzer}}
+			var got []int
+			for _, f := range runner.Check(pkg) {
+				if filepath.Base(f.Pos.Filename) != tc.file {
+					continue
+				}
+				if f.Rule != tc.analyzer.Name() {
+					t.Errorf("finding carries rule %q, want %q", f.Rule, tc.analyzer.Name())
+				}
+				got = append(got, f.Pos.Line)
+			}
+			sort.Ints(got)
+			want := wantLines(t, tc.file, tc.analyzer.Name())
+			if len(want) == 0 {
+				t.Fatalf("fixture %s has no // want %s markers", tc.file, tc.analyzer.Name())
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s findings at lines %v, want %v", tc.analyzer.Name(), got, want)
+			}
+		})
+	}
+}
+
+// TestAllowEscapeHatch checks both //lint:allow placements suppress a
+// finding while an allow for the wrong rule does not.
+func TestAllowEscapeHatch(t *testing.T) {
+	pkg := loadFixture(t)
+	runner := &Runner{Analyzers: []Analyzer{Determinism{}}}
+	var got []int
+	for _, f := range runner.Check(pkg) {
+		if filepath.Base(f.Pos.Filename) == "allow.go" {
+			got = append(got, f.Pos.Line)
+		}
+	}
+	want := wantLines(t, "allow.go", "determinism")
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("allow.go findings at lines %v, want only the wrong-rule line %v", got, want)
+	}
+}
+
+// TestPathAllowlist checks a whole package can be exempted per rule.
+func TestPathAllowlist(t *testing.T) {
+	pkg := loadFixture(t)
+	runner := &Runner{
+		Analyzers: []Analyzer{Determinism{}},
+		PathAllow: map[string][]string{"determinism": {pkg.Rel}},
+	}
+	if got := runner.Check(pkg); len(got) != 0 {
+		t.Errorf("path-allowlisted package still has %d findings: %+v", len(got), got)
+	}
+}
+
+// TestRepoTreeIsClean is the in-process CI gate: the real tree must lint
+// clean, so any new violation fails go test, not just scripts/check.sh.
+func TestRepoTreeIsClean(t *testing.T) {
+	root := repoRoot(t)
+	dirs, err := Walk(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := &Runner{}
+	for _, dir := range dirs {
+		pkg, err := Load(dir, root, false)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for _, f := range runner.Check(pkg) {
+			t.Errorf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Msg)
+		}
+	}
+}
+
+// TestWalkSkipsTestdata guards the ./... semantics the gate depends on:
+// fixture violations must not leak into a tree walk.
+func TestWalkSkipsTestdata(t *testing.T) {
+	dirs, err := Walk(repoRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dirs {
+		if filepath.Base(filepath.Dir(d)) == "testdata" || filepath.Base(d) == "testdata" {
+			t.Errorf("Walk returned testdata directory %s", d)
+		}
+		if regexp.MustCompile(`(^|/)testdata(/|$)`).MatchString(filepath.ToSlash(d)) {
+			t.Errorf("Walk returned path under testdata: %s", d)
+		}
+	}
+	if len(dirs) < 10 {
+		t.Errorf("Walk found only %d package dirs, expected the full tree", len(dirs))
+	}
+}
+
+// TestSeverityString pins the report vocabulary used by the golden file.
+func TestSeverityString(t *testing.T) {
+	for sev, want := range map[Severity]string{Error: "error", Warn: "warn"} {
+		if got := fmt.Sprint(sev); got != want {
+			t.Errorf("Severity(%d) = %q, want %q", sev, got, want)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+// Package fixture seeds one violation of every iawjlint rule, with
+// `// want <rule>` markers consumed by the analyzer tests and the
+// cmd/iawjlint golden test.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() int64 {
+	start := time.Now()                    // want determinism
+	return time.Since(start).Nanoseconds() // want determinism
+}
+
+func wallClockReturn() int64 {
+	return time.Now().UnixNano() // want determinism
+}
+
+func globalRand() int {
+	rand.Shuffle(3, func(i, j int) {}) // want determinism
+	return rand.Intn(10)               // want determinism
+}
+
+func seededRandOK() int {
+	rng := rand.New(rand.NewSource(42))
+	return rng.Intn(10)
+}
+
+func sleepOK() {
+	time.Sleep(time.Microsecond)
+}

@@ -1,0 +1,41 @@
+package fixture
+
+import "sync"
+
+func leakyLaunch() {
+	go func() { // want goroutineleak
+		_ = 1
+	}()
+}
+
+func receiveInsideGoroutineStillLeaks(ch chan int) {
+	go func() { // want goroutineleak
+		<-ch // a receive inside the leaked goroutine is not a join
+	}()
+}
+
+func waitGroupOK() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+func channelJoinOK() {
+	done := make(chan struct{})
+	go func() {
+		close(done)
+	}()
+	<-done
+}
+
+func selectJoinOK(stop chan struct{}) {
+	go func() {
+		close(stop)
+	}()
+	select {
+	case <-stop:
+	}
+}

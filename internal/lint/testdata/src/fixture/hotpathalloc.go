@@ -1,0 +1,42 @@
+package fixture
+
+import "fmt"
+
+var capturedSink []int
+
+//iawj:hotpath
+func hotProbeLoop(keys []int) int {
+	n := 0
+	local := make([]int, 0, len(keys))
+	for _, k := range keys {
+		local = append(local, k)               // ok: local buffer
+		capturedSink = append(capturedSink, k) // want hotpathalloc
+		_ = fmt.Sprintf("key=%d", k)           // want hotpathalloc
+		seen := map[int]bool{k: true}          // want hotpathalloc
+		_ = make(map[int]int, len(keys))       // want hotpathalloc
+		if seen[k] {
+			n += k
+		}
+	}
+	return n + len(local)
+}
+
+//iawj:hotpath
+func hotWithClosure(keys []int, emit func(int)) {
+	for _, k := range keys {
+		probe := func(x int) {
+			_ = fmt.Sprint(x) // want hotpathalloc
+			emit(x)
+		}
+		probe(k)
+	}
+}
+
+func coldPath(keys []int) string {
+	// Not annotated: formatting and maps are fine here.
+	seen := map[int]bool{}
+	for _, k := range keys {
+		seen[k] = true
+	}
+	return fmt.Sprintf("%d distinct", len(seen))
+}

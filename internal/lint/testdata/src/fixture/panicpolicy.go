@@ -1,0 +1,23 @@
+package fixture
+
+func plainLibraryCode(x int) int {
+	if x < 0 {
+		panic("negative input") // want panicpolicy
+	}
+	return x * 2
+}
+
+func mustPositive(x int) int {
+	if x <= 0 {
+		panic("mustPositive: invariant violated") // ok: invariant helper
+	}
+	return x
+}
+
+func assertSorted(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		if xs[i-1] > xs[i] {
+			panic("assertSorted: out of order") // ok: invariant helper
+		}
+	}
+}

@@ -282,6 +282,8 @@ type JoinEmit func(r, s tuple.Tuple)
 // behaviour whose cache friendliness under high duplication Section 5.4
 // highlights). It returns the number of matches. emit may be nil to count
 // only. tr may be nil.
+//
+//iawj:hotpath
 func MergeJoin(r, s []tuple.Tuple, emit JoinEmit, tr cachesim.Tracer, baseR, baseS uint64) int64 {
 	var matches int64
 	i, j := 0, 0

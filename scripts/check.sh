@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# check.sh — the full CI gate, one command (`make check`).
+#
+# Stages, in dependency order:
+#   1. gofmt        formatting drift fails fast
+#   2. go vet       stdlib static analysis
+#   3. go build     the tree compiles
+#   4. iawjlint     repo-specific analyzers (see LINTING.md)
+#   5. go test      tier-1 verify
+#   6. go test -race  concurrency correctness, incl. the eager stress test
+#   7. fuzz smoke   5s per existing fuzz target on the gen/ingest parsers
+#
+# Any stage failing aborts the gate with a non-zero exit.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FUZZTIME="${FUZZTIME:-5s}"
+
+step() { printf '\n== %s ==\n' "$1"; }
+
+step "gofmt"
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+    echo "gofmt needs to be run on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+echo "ok"
+
+step "go vet ./..."
+go vet ./...
+
+step "go build ./..."
+go build ./...
+
+step "iawjlint ./..."
+go run ./cmd/iawjlint ./...
+
+step "go test ./..."
+go test ./...
+
+step "go test -race ./..."
+go test -race ./...
+
+step "fuzz smoke (${FUZZTIME} per target)"
+go test -run='^$' -fuzz='^FuzzReadCSV$' -fuzztime="$FUZZTIME" ./internal/gen
+go test -run='^$' -fuzz='^FuzzReadStream$' -fuzztime="$FUZZTIME" ./internal/ingest
+go test -run='^$' -fuzz='^FuzzReadBinary$' -fuzztime="$FUZZTIME" ./internal/ingest
+
+printf '\ncheck: all stages passed\n'
