@@ -6,7 +6,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: check build test lint race fuzz-smoke fmt
+.PHONY: check build test lint race trace-smoke bench fuzz-smoke fmt
 
 ## check: run the full CI gate (fmt, vet, build, lint, test, race, fuzz)
 check:
@@ -27,6 +27,16 @@ lint:
 ## race: full test suite under the race detector
 race:
 	$(GO) test -race ./...
+
+## trace-smoke: tiny benchmark with -trace, validate spans for every phase
+trace-smoke:
+	$(GO) run ./cmd/iawjbench -exp fig7 -scale 0.01 -spancap 65536 -trace /tmp/iawj-trace-smoke.json >/dev/null
+	$(GO) run ./cmd/iawjtrace -q -want "wait,partition,build/sort,merge,probe,others" /tmp/iawj-trace-smoke.json
+	rm -f /tmp/iawj-trace-smoke.json
+
+## bench: short per-algorithm benchmark sweep, writes BENCH_2.json
+bench:
+	./scripts/bench.sh
 
 ## fuzz-smoke: short fuzz run on the gen/ingest parsers
 fuzz-smoke:

@@ -9,27 +9,41 @@
 // Experiment ids follow the paper: table3, table5, table6, fig3..fig21.
 // Defaults run a scaled-down configuration that finishes in seconds;
 // raise -scale / -window toward paper magnitudes for slower, closer runs.
+//
+// Observability (see OBSERVABILITY.md):
+//
+//	iawjbench -exp fig7 -trace trace.json     # Chrome trace (Perfetto)
+//	iawjbench -all -journal runs.jsonl        # one JSON summary per run
+//	iawjbench -all -listen 127.0.0.1:9090     # /metrics + /debug/pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/exp"
 	"repro/internal/gen"
+	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 func main() {
 	var (
-		expID   = flag.String("exp", "", "experiment id to run ("+strings.Join(exp.IDs(), ", ")+")")
-		all     = flag.Bool("all", false, "run every experiment")
-		threads = flag.Int("threads", 0, "worker threads (default min(8, GOMAXPROCS))")
-		scale   = flag.Float64("scale", 0.02, "real-world workload scale (1 = paper magnitude)")
-		window  = flag.Int64("window", 100, "Micro sweep window length in ms (paper: 1000)")
-		seed    = flag.Uint64("seed", 42, "workload generation seed")
-		simNs   = flag.Float64("nsperms", 0, "real ns per simulated ms (0 = default compression)")
+		expID     = flag.String("exp", "", "experiment id to run ("+strings.Join(exp.IDs(), ", ")+")")
+		all       = flag.Bool("all", false, "run every experiment")
+		threads   = flag.Int("threads", 0, "worker threads (default min(8, GOMAXPROCS))")
+		scale     = flag.Float64("scale", 0.02, "real-world workload scale (1 = paper magnitude)")
+		window    = flag.Int64("window", 100, "Micro sweep window length in ms (paper: 1000)")
+		seed      = flag.Uint64("seed", 42, "workload generation seed")
+		simNs     = flag.Float64("nsperms", 0, "real ns per simulated ms (0 = default compression)")
+		traceOut  = flag.String("trace", "", "write per-worker phase spans as Chrome trace JSON to this file")
+		journal   = flag.String("journal", "", "append one JSONL run summary per run to this file")
+		listen    = flag.String("listen", "", "serve /metrics, /debug/pprof and /debug/vars on this address")
+		spanCap   = flag.Int("spancap", 0, "trace ring capacity per worker (0 = default)")
+		traceTIDs = flag.Int("tracetids", 0, "trace worker slots (0 = max(threads, GOMAXPROCS))")
 	)
 	flag.Parse()
 
@@ -41,6 +55,54 @@ func main() {
 		NsPerSimMs:    *simNs,
 		Seed:          *seed,
 	}
+
+	var rec *trace.Recorder
+	if *traceOut != "" || *listen != "" {
+		tids := *traceTIDs
+		if tids <= 0 {
+			tids = runtime.GOMAXPROCS(0)
+			if opts.Threads > tids {
+				tids = opts.Threads
+			}
+			// Thread-sweep experiments (e.g. fig20) exceed the default
+			// thread count; leave headroom so their workers are traced too.
+			if tids < 16 {
+				tids = 16
+			}
+		}
+		rec = trace.NewRecorder(tids, *spanCap)
+		opts.Trace = rec
+	}
+
+	reg := trace.NewRegistry()
+	var jw *trace.JournalWriter
+	if *journal != "" {
+		f, err := os.Create(*journal)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		jw = trace.NewJournalWriter(f)
+	}
+	if *journal != "" || *listen != "" {
+		opts.OnResult = func(res metrics.Result) {
+			reg.Observe(res)
+			if err := jw.Write(res); err != nil {
+				fmt.Fprintln(os.Stderr, "iawjbench: journal:", err)
+			}
+		}
+	}
+	if *listen != "" {
+		reg.Attach(rec)
+		addr, err := trace.Serve(*listen, reg, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics\n", addr)
+	}
+
 	switch {
 	case *all:
 		exp.RunAll(opts)
@@ -53,5 +115,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "iawjbench: pass -exp <id> or -all; available ids:")
 		fmt.Fprintln(os.Stderr, " ", strings.Join(exp.IDs(), " "))
 		os.Exit(2)
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := trace.WriteChrome(f, rec); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if d := rec.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "iawjbench: %d spans dropped to full rings (raise -spancap)\n", d)
+		}
 	}
 }

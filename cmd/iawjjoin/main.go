@@ -15,10 +15,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	iawj "repro"
 	"repro/internal/gen"
 	"repro/internal/ingest"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -38,6 +40,9 @@ func main() {
 		spillDir  = flag.String("spill", "", "PMJ disk-spill directory")
 		format    = flag.String("format", "text", "output format: text | json")
 		seed      = flag.Uint64("seed", 42, "seed for synthetic workloads")
+		traceOut  = flag.String("trace", "", "write per-worker phase spans as Chrome trace JSON to this file")
+		journal   = flag.String("journal", "", "append a JSONL run summary to this file")
+		serve     = flag.String("serve", "", "serve /metrics, /debug/pprof and /debug/vars on this address")
 	)
 	flag.Parse()
 
@@ -56,9 +61,55 @@ func main() {
 		GroupSize:    *groupSize,
 		SpillDir:     *spillDir,
 	}
+
+	var rec *iawj.TraceRecorder
+	if *traceOut != "" || *serve != "" {
+		tids := *threads
+		if n := runtime.GOMAXPROCS(0); tids < n {
+			tids = n
+		}
+		rec = iawj.NewTraceRecorder(tids, 0)
+		cfg.Trace = rec
+	}
+	reg := trace.NewRegistry()
+	if *serve != "" {
+		reg.Attach(rec)
+		addr, err := trace.Serve(*serve, reg, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics\n", addr)
+	}
+
 	res, err := iawj.JoinWorkload(w, cfg)
 	if err != nil {
 		fatal(err)
+	}
+	reg.Observe(res)
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.WriteChrome(f, rec); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if *journal != "" {
+		f, err := os.OpenFile(*journal, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.NewJournalWriter(f).Write(res); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
 	}
 
 	switch *format {
@@ -113,6 +164,7 @@ type jsonReport struct {
 	ThroughputTPM float64 `json:"throughput_tuples_per_ms"`
 	LatencyP50Ms  int64   `json:"latency_p50_ms"`
 	LatencyP95Ms  int64   `json:"latency_p95_ms"`
+	LatencyP99Ms  int64   `json:"latency_p99_ms"`
 	LatencyMaxMs  int64   `json:"latency_max_ms"`
 	TimeTo50Pct   int64   `json:"time_to_50pct_matches_ms"`
 	CPUUtil       float64 `json:"cpu_utilization"`
@@ -137,6 +189,7 @@ func report(w gen.Workload, res iawj.Result) jsonReport {
 		ThroughputTPM: res.ThroughputTPM,
 		LatencyP50Ms:  res.LatencyP50Ms,
 		LatencyP95Ms:  res.LatencyP95Ms,
+		LatencyP99Ms:  res.LatencyP99Ms,
 		LatencyMaxMs:  res.LatencyMaxMs,
 		TimeTo50Pct:   res.TimeToFrac(0.5),
 		CPUUtil:       res.CPUUtil,
@@ -157,8 +210,8 @@ func printText(w gen.Workload, res iawj.Result) {
 	fmt.Printf("algorithm   %s (%d threads)\n", res.Algorithm, res.Threads)
 	fmt.Printf("matches     %d\n", res.Matches)
 	fmt.Printf("throughput  %.1f tuples/ms\n", res.ThroughputTPM)
-	fmt.Printf("latency     p50=%dms p95=%dms max=%dms\n",
-		res.LatencyP50Ms, res.LatencyP95Ms, res.LatencyMaxMs)
+	fmt.Printf("latency     p50=%dms p95=%dms p99=%dms max=%dms\n",
+		res.LatencyP50Ms, res.LatencyP95Ms, res.LatencyP99Ms, res.LatencyMaxMs)
 	fmt.Printf("progress    50%% of matches by %dms\n", res.TimeToFrac(0.5))
 	fmt.Printf("cpu util    %.1f%%\n", res.CPUUtil*100)
 	fmt.Printf("peak mem    %d bytes\n", res.MemPeakBytes)

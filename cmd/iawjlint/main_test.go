@@ -41,7 +41,7 @@ func TestGolden(t *testing.T) {
 // TestEachRuleTripsNonZero is the acceptance criterion: every rule, run
 // alone, must exit non-zero on its seeded fixture violation.
 func TestEachRuleTripsNonZero(t *testing.T) {
-	for _, rule := range []string{"determinism", "lockdiscipline", "goroutineleak", "hotpathalloc", "panicpolicy"} {
+	for _, rule := range []string{"determinism", "lockdiscipline", "goroutineleak", "hotpathalloc", "panicpolicy", "tracering"} {
 		t.Run(rule, func(t *testing.T) {
 			var out, errs bytes.Buffer
 			code := run([]string{"-rules", rule, fixture}, &out, &errs)
@@ -81,7 +81,7 @@ func TestListRules(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errs); code != 0 {
 		t.Fatalf("exit code = %d, want 0", code)
 	}
-	for _, rule := range []string{"determinism", "lockdiscipline", "goroutineleak", "hotpathalloc", "panicpolicy"} {
+	for _, rule := range []string{"determinism", "lockdiscipline", "goroutineleak", "hotpathalloc", "panicpolicy", "tracering"} {
 		if !strings.Contains(out.String(), rule) {
 			t.Errorf("-list output missing %s:\n%s", rule, out.String())
 		}

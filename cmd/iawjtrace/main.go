@@ -1,0 +1,129 @@
+// Command iawjtrace validates and summarizes a Chrome trace-event JSON
+// file produced by iawjbench/iawjjoin -trace. It prints a per-algorithm,
+// per-phase span summary and exits non-zero when the file is not a valid
+// trace, contains no spans, or is missing a phase the caller asserts with
+// -want. scripts/check.sh uses it as the trace smoke gate.
+//
+// Usage:
+//
+//	iawjtrace trace.json
+//	iawjtrace -want wait,partition,build/sort,merge,probe,others trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		want  = flag.String("want", "", "comma-separated phase names that must appear in the trace")
+		quiet = flag.Bool("q", false, "suppress the summary; only validate")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: iawjtrace [-want phases] [-q] <trace.json>")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	ct, err := trace.ReadChrome(f)
+	if err != nil {
+		fatal(err)
+	}
+	if len(ct.TraceEvents) == 0 {
+		fatal(fmt.Errorf("iawjtrace: %s contains no trace events", flag.Arg(0)))
+	}
+
+	type key struct{ alg, phase string }
+	type agg struct {
+		spans  int
+		durUs  float64
+		tuples int64
+	}
+	byKey := map[key]*agg{}
+	phases := map[string]int{}
+	tids := map[int]bool{}
+	for i, ev := range ct.TraceEvents {
+		if ev.Ph != "X" {
+			fatal(fmt.Errorf("iawjtrace: event %d has ph=%q, want complete events (%q)", i, ev.Ph, "X"))
+		}
+		if ev.Name == "" {
+			fatal(fmt.Errorf("iawjtrace: event %d has no phase name", i))
+		}
+		if ev.Dur < 0 || ev.Ts < 0 {
+			fatal(fmt.Errorf("iawjtrace: event %d has negative ts/dur", i))
+		}
+		k := key{ev.Args.Algorithm, ev.Name}
+		a := byKey[k]
+		if a == nil {
+			a = &agg{}
+			byKey[k] = a
+		}
+		a.spans++
+		a.durUs += ev.Dur
+		a.tuples += ev.Args.Tuples
+		phases[ev.Name]++
+		tids[ev.TID] = true
+	}
+
+	if *want != "" {
+		var missing []string
+		for _, p := range strings.Split(*want, ",") {
+			p = strings.TrimSpace(p)
+			if p != "" && phases[p] == 0 {
+				missing = append(missing, p)
+			}
+		}
+		if len(missing) > 0 {
+			fatal(fmt.Errorf("iawjtrace: trace is missing phase(s) %s (have %s)",
+				strings.Join(missing, ", "), strings.Join(sortedKeys(phases), ", ")))
+		}
+	}
+
+	if !*quiet {
+		fmt.Printf("%s: %d spans, %d workers, %d phases\n",
+			flag.Arg(0), len(ct.TraceEvents), len(tids), len(phases))
+		if d := ct.OtherData["droppedSpans"]; d != "" {
+			fmt.Printf("dropped spans: %s\n", d)
+		}
+		keys := make([]key, 0, len(byKey))
+		for k := range byKey {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].alg != keys[j].alg {
+				return keys[i].alg < keys[j].alg
+			}
+			return keys[i].phase < keys[j].phase
+		})
+		fmt.Printf("%-12s %-12s %8s %14s %12s\n", "algorithm", "phase", "spans", "busy_ms", "tuples")
+		for _, k := range keys {
+			a := byKey[k]
+			fmt.Printf("%-12s %-12s %8d %14.3f %12d\n", k.alg, k.phase, a.spans, a.durUs/1e3, a.tuples)
+		}
+	}
+}
+
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

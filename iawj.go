@@ -26,6 +26,7 @@ import (
 	"repro/internal/eager"
 	"repro/internal/lazy"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 	"repro/internal/tuple"
 )
 
@@ -80,6 +81,22 @@ type Config struct {
 	// Tracer feeds a cache simulation during profile runs; use
 	// NewCacheSim. Profile runs should use Threads: 1.
 	Tracer Tracer
+
+	// Trace records per-worker phase spans into the recorder (see
+	// NewTraceRecorder and OBSERVABILITY.md); nil disables tracing at
+	// zero cost.
+	Trace *TraceRecorder
+}
+
+// TraceRecorder is the per-worker phase-span recorder; see NewTraceRecorder.
+type TraceRecorder = trace.Recorder
+
+// NewTraceRecorder prepares a span recorder for up to workers threads with
+// spansPerWorker ring slots each (<= 0 selects the default capacity). Pass
+// it as Config.Trace, then export with trace.WriteChrome or inspect
+// Snapshot directly.
+func NewTraceRecorder(workers, spansPerWorker int) *TraceRecorder {
+	return trace.NewRecorder(workers, spansPerWorker)
 }
 
 // Tracer is the cache-simulation hook; see NewCacheSim.
@@ -164,6 +181,7 @@ func Join(r, s Relation, cfg Config) (Result, error) {
 			SpillDir:          cfg.SpillDir,
 		},
 		Tracer: cfg.Tracer,
+		Trace:  cfg.Trace,
 		Emit:   cfg.Emit,
 	})
 }

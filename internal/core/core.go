@@ -18,6 +18,7 @@ import (
 	"repro/internal/cachesim"
 	"repro/internal/clock"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 	"repro/internal/tuple"
 )
 
@@ -105,6 +106,11 @@ type ExecContext struct {
 	// Tracer, when non-nil, feeds the cache simulator; profile runs are
 	// single-threaded so the trace is deterministic.
 	Tracer cachesim.Tracer
+	// Trace, when non-nil, records per-worker phase spans (OBSERVABILITY.md).
+	// Disabled tracing is free: TraceWorker returns a nil handle whose
+	// methods are no-ops, so the hot path carries no branch and no
+	// allocation per span.
+	Trace *trace.Recorder
 	// Emit materializes join outputs; nil counts only (the paper
 	// measures the join process, not downstream consumption). Emit may
 	// be called concurrently from worker goroutines.
@@ -122,13 +128,34 @@ func (ctx *ExecContext) SetPhase(p metrics.Phase) {
 	}
 }
 
-// Begin switches worker tid into phase p, updating both the time breakdown
-// and, if attached, the phase-aware tracer.
+// Begin switches worker tid into phase p, updating the time breakdown,
+// the span trace, and, if attached, the phase-aware cache tracer.
 func (ctx *ExecContext) Begin(tid int, p metrics.Phase) {
 	ctx.M.T(tid).Begin(p)
+	if ctx.Trace != nil {
+		ctx.Trace.T(tid).Begin(int(p))
+	}
 	if ctx.Tracer != nil {
 		ctx.SetPhase(p)
 	}
+}
+
+// EndPhase closes worker tid's current phase in both the time breakdown
+// and the span trace; workers call it once when they finish.
+func (ctx *ExecContext) EndPhase(tid int) {
+	ctx.M.T(tid).End()
+	if ctx.Trace != nil {
+		ctx.Trace.T(tid).End()
+	}
+}
+
+// TraceWorker returns worker tid's span-recording handle; nil (an inert,
+// method-safe handle) when tracing is disabled.
+func (ctx *ExecContext) TraceWorker(tid int) *trace.Worker {
+	if ctx.Trace == nil {
+		return nil
+	}
+	return ctx.Trace.T(tid)
 }
 
 // Avail reports whether a tuple with timestamp ts has arrived.
@@ -149,11 +176,14 @@ func (ctx *ExecContext) WaitWindow(tid int) {
 		last = ctx.WindowMs
 	}
 	tm := ctx.M.T(tid)
+	tw := ctx.TraceWorker(tid)
 	tm.Begin(metrics.PhaseWait)
+	tw.Begin(int(metrics.PhaseWait))
 	for !ctx.Clock.Avail(last) {
 		time.Sleep(50 * time.Microsecond)
 	}
 	tm.End()
+	tw.End()
 }
 
 // Chunk returns the [lo, hi) bounds of thread tid's equisized portion of n
@@ -188,7 +218,10 @@ type RunConfig struct {
 	AtRest bool
 	Knobs  Knobs
 	Tracer cachesim.Tracer
-	Emit   func(tuple.JoinResult)
+	// Trace records per-worker phase spans into the given recorder; the
+	// run is tagged with the algorithm name via StartRun.
+	Trace *trace.Recorder
+	Emit  func(tuple.JoinResult)
 }
 
 // DefaultNsPerSimMs compresses one simulated millisecond into 50µs of real
@@ -232,6 +265,9 @@ func Run(alg Algorithm, r, s tuple.Relation, windowMs int64, cfg RunConfig) (met
 	} else {
 		src = clock.NewScaled(ns)
 	}
+	if cfg.Trace != nil {
+		cfg.Trace.StartRun(alg.Name())
+	}
 	ctx := &ExecContext{
 		R:        r,
 		S:        s,
@@ -241,6 +277,7 @@ func Run(alg Algorithm, r, s tuple.Relation, windowMs int64, cfg RunConfig) (met
 		M:        metrics.NewCollector(threads),
 		Knobs:    knobs,
 		Tracer:   cfg.Tracer,
+		Trace:    cfg.Trace,
 		Emit:     cfg.Emit,
 	}
 	sw := clock.StartStopwatch()

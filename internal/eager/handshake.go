@@ -53,11 +53,10 @@ func (Handshake) Run(ctx *core.ExecContext) error {
 
 	for c := 0; c < cells; c++ {
 		go func(cell int) {
-			tm := ctx.M.T(cell)
 			sink := core.NewSink(ctx, cell)
 			var rStore, sStore []tuple.Tuple
 			for msg := range chans[cell] {
-				tm.Begin(metrics.PhaseProbe)
+				ctx.Begin(cell, metrics.PhaseProbe)
 				if msg.fromR {
 					for _, s := range sStore {
 						if s.Key == msg.t.Key {
@@ -71,7 +70,7 @@ func (Handshake) Run(ctx *core.ExecContext) error {
 						}
 					}
 				}
-				tm.Begin(metrics.PhaseBuildSort)
+				ctx.Begin(cell, metrics.PhaseBuildSort)
 				if msg.store == cell {
 					if msg.fromR {
 						rStore = append(rStore, msg.t)
@@ -80,7 +79,7 @@ func (Handshake) Run(ctx *core.ExecContext) error {
 					}
 					ctx.M.MemAdd(16)
 				}
-				tm.Begin(metrics.PhaseOther)
+				ctx.Begin(cell, metrics.PhaseOther)
 				// Forward along the flow direction; R flows to higher
 				// cells, S to lower.
 				next := cell + 1
@@ -93,7 +92,7 @@ func (Handshake) Run(ctx *core.ExecContext) error {
 				}
 				chans[next] <- msg
 			}
-			tm.End()
+			ctx.EndPhase(cell)
 			done <- struct{}{}
 		}(c)
 	}

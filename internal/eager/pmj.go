@@ -121,8 +121,7 @@ func (a PMJ) Run(ctx *core.ExecContext) error {
 	}
 
 	parallel(ctx.Threads, func(tid int) {
-		tm := ctx.M.T(tid)
-		pt := phaseTimer{tm: tm, ctx: ctx}
+		pt := newPhaseTimer(ctx, tid)
 		dist := makeDist(a.JB, ctx, tid)
 		sink := core.NewSink(ctx, tid)
 
@@ -151,14 +150,16 @@ func (a PMJ) Run(ctx *core.ExecContext) error {
 				return
 			}
 			// Sort the accumulated subsets into a run pair.
-			pt.time(metrics.PhaseBuildSort, func() {
+			pt.timeCount(metrics.PhaseBuildSort, func() int64 {
 				sortmerge.SortByKey(curR, ctx.Knobs.SIMD, ctx.Tracer, uint64(tid)<<40|uint64(len(runs))<<24)
 				sortmerge.SortByKey(curS, ctx.Knobs.SIMD, ctx.Tracer, uint64(tid)<<40|uint64(len(runs))<<24|1<<23)
+				return int64(len(curR) + len(curS))
 			})
 			// Join the fresh run pair immediately: early results.
-			pt.time(metrics.PhaseProbe, func() {
+			pt.timeCount(metrics.PhaseProbe, func() int64 {
 				sink.Refresh()
 				sortmerge.MergeJoin(curR, curS, func(r, s tuple.Tuple) { sink.Match(r, s) }, ctx.Tracer, 0, 0)
+				return int64(len(curR) + len(curS))
 			})
 			ru := run{r: curR, s: curS}
 			if spillDir != "" {
@@ -181,13 +182,14 @@ func (a PMJ) Run(ctx *core.ExecContext) error {
 			now := ctx.NowMs()
 			var rWaiting, sWaiting bool
 			nR, nS := 0, 0
-			pt.time(metrics.PhasePartition, func() {
+			pt.timeCount(metrics.PhasePartition, func() int64 {
 				before := len(curR)
 				curR, rWaiting = rcur.batch(curR, bsz, now, atRest, dist.ownsR, ctx.Knobs.PhysicalPartition)
 				nR = len(curR) - before
 				before = len(curS)
 				curS, sWaiting = scur.batch(curS, bsz, now, atRest, dist.ownsS, ctx.Knobs.PhysicalPartition)
 				nS = len(curS) - before
+				return int64(nR + nS)
 			})
 			if len(curR)+len(curS) >= step {
 				seal()
@@ -225,7 +227,7 @@ func (a PMJ) Run(ctx *core.ExecContext) error {
 			}
 		})
 		ctx.M.MemAdd(dist.statusBytes())
-		tm.End()
+		ctx.EndPhase(tid)
 	})
 	ctx.M.MemSampleNow(ctx.NowMs())
 	return firstErr

@@ -55,8 +55,7 @@ func (a SHJ) Run(ctx *core.ExecContext) error {
 	bsz := batchSize(ctx)
 
 	parallel(ctx.Threads, func(tid int) {
-		tm := ctx.M.T(tid)
-		pt := phaseTimer{tm: tm, ctx: ctx}
+		pt := newPhaseTimer(ctx, tid)
 		dist := makeDist(a.JB, ctx, tid)
 		sink := core.NewSink(ctx, tid)
 
@@ -82,38 +81,44 @@ func (a SHJ) Run(ctx *core.ExecContext) error {
 
 			// Pull a batch from R: insert into the R table, probe the
 			// S table (interleaved build and probe).
-			pt.time(metrics.PhasePartition, func() {
+			pt.timeCount(metrics.PhasePartition, func() int64 {
 				rbuf, rWaiting = rcur.batch(rbuf[:0], bsz, now, atRest, dist.ownsR, ctx.Knobs.PhysicalPartition)
+				return int64(len(rbuf))
 			})
 			if len(rbuf) > 0 {
-				pt.time(metrics.PhaseBuildSort, func() {
+				pt.timeCount(metrics.PhaseBuildSort, func() int64 {
 					for _, r := range rbuf {
 						rtab.Insert(r)
 					}
+					return int64(len(rbuf))
 				})
-				pt.time(metrics.PhaseProbe, func() {
+				pt.timeCount(metrics.PhaseProbe, func() int64 {
 					for _, r := range rbuf {
 						rv := r
 						stab.Probe(r.Key, func(s tuple.Tuple) { sink.Match(rv, s) })
 					}
+					return int64(len(rbuf))
 				})
 			}
 
 			// Then alternate: pull a batch from S.
-			pt.time(metrics.PhasePartition, func() {
+			pt.timeCount(metrics.PhasePartition, func() int64 {
 				sbuf, sWaiting = scur.batch(sbuf[:0], bsz, now, atRest, dist.ownsS, ctx.Knobs.PhysicalPartition)
+				return int64(len(sbuf))
 			})
 			if len(sbuf) > 0 {
-				pt.time(metrics.PhaseBuildSort, func() {
+				pt.timeCount(metrics.PhaseBuildSort, func() int64 {
 					for _, s := range sbuf {
 						stab.Insert(s)
 					}
+					return int64(len(sbuf))
 				})
-				pt.time(metrics.PhaseProbe, func() {
+				pt.timeCount(metrics.PhaseProbe, func() int64 {
 					for _, s := range sbuf {
 						sv := s
 						rtab.Probe(s.Key, func(r tuple.Tuple) { sink.Match(r, sv) })
 					}
+					return int64(len(sbuf))
 				})
 			}
 
@@ -132,7 +137,7 @@ func (a SHJ) Run(ctx *core.ExecContext) error {
 				}
 			}
 		}
-		tm.End()
+		ctx.EndPhase(tid)
 	})
 	ctx.M.MemSampleNow(ctx.NowMs())
 	return nil

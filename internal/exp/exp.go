@@ -20,6 +20,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/lazy"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // Options configures an experiment run.
@@ -38,6 +39,12 @@ type Options struct {
 	NsPerSimMs float64
 	// Seed fixes workload generation.
 	Seed uint64
+	// Trace, when non-nil, records per-worker phase spans of every run
+	// into the recorder (each run tagged with its algorithm name).
+	Trace *trace.Recorder
+	// OnResult, when non-nil, observes every successful run's merged
+	// metrics — the hook the journal and the live /metrics registry use.
+	OnResult func(metrics.Result)
 }
 
 func (o *Options) defaults() {
@@ -96,12 +103,17 @@ func run(o *Options, w gen.Workload, name string, knobs core.Knobs) (metrics.Res
 		NsPerSimMs: o.NsPerSimMs,
 		AtRest:     w.AtRest,
 		Knobs:      knobs,
+		Trace:      o.Trace,
 	}
 	// The paper tunes each algorithm to its optimal configuration for
 	// the overall comparison; apply the experimentally determined
 	// defaults (SIMD on for the sort kernels; #r and δ default in core).
 	cfg.Knobs.SIMD = true
-	return core.Run(mustAlg(name), w.R, w.S, w.WindowMs, cfg)
+	res, err := core.Run(mustAlg(name), w.R, w.S, w.WindowMs, cfg)
+	if err == nil && o.OnResult != nil {
+		o.OnResult(res)
+	}
+	return res, err
 }
 
 // header prints an experiment banner.

@@ -17,6 +17,8 @@ import (
 	"net"
 
 	"repro/internal/clock"
+	"repro/internal/metrics"
+	"repro/internal/trace"
 	"repro/internal/tuple"
 )
 
@@ -79,17 +81,43 @@ func ReadStream(r io.Reader, maxTuples int) (byte, tuple.Relation, error) {
 // nanoseconds each. nsPerMs <= 0 replays at full speed. Replay returns
 // the number of tuples emitted.
 func Replay(rel tuple.Relation, nsPerMs float64, emit func(tuple.Tuple)) int {
+	return ReplayTraced(rel, nsPerMs, emit, nil)
+}
+
+// ReplayTraced is Replay with arrival-gating observability: delivery
+// stretches are published as partition-phase spans carrying their tuple
+// counts, and every pacing stall becomes one wait-phase span, so a trace
+// of a replayed stream shows exactly when ingest was gated on arrival. A
+// nil worker records nothing and costs nothing (Replay delegates here).
+func ReplayTraced(rel tuple.Relation, nsPerMs float64, emit func(tuple.Tuple), tw *trace.Worker) int {
+	seal := func(startNs int64, tuples int64) {
+		if tuples > 0 {
+			tw.Record(int(metrics.PhasePartition), startNs, tw.NowNs()-startNs, tuples)
+		}
+	}
 	if nsPerMs <= 0 {
+		start := tw.NowNs()
 		for _, t := range rel {
 			emit(t)
 		}
+		seal(start, int64(len(rel)))
 		return len(rel)
 	}
 	pacer := clock.NewPacer(nsPerMs)
+	segStart := tw.NowNs()
+	var segTuples int64
 	for _, t := range rel {
-		pacer.Pace(t.TS)
+		if pacer.Behind(t.TS) > 0 {
+			seal(segStart, segTuples)
+			waitStart := tw.NowNs()
+			pacer.Pace(t.TS)
+			tw.Record(int(metrics.PhaseWait), waitStart, tw.NowNs()-waitStart, 0)
+			segStart, segTuples = tw.NowNs(), 0
+		}
 		emit(t)
+		segTuples++
 	}
+	seal(segStart, segTuples)
 	return len(rel)
 }
 

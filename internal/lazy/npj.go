@@ -64,11 +64,12 @@ func (a NPJ) Run(ctx *core.ExecContext) error {
 	barrier.Add(ctx.Threads)
 
 	parallel(ctx.Threads, func(tid int) {
-		tm := ctx.M.T(tid)
+		tw := ctx.TraceWorker(tid)
 		ctx.WaitWindow(tid)
 
 		ctx.Begin(tid, metrics.PhaseBuildSort)
 		lo, hi := core.Chunk(len(ctx.R), ctx.Threads, tid)
+		tw.AddTuples(int64(hi - lo))
 		for _, t := range ctx.R[lo:hi] {
 			table.Insert(t)
 		}
@@ -79,6 +80,7 @@ func (a NPJ) Run(ctx *core.ExecContext) error {
 		ctx.Begin(tid, metrics.PhaseProbe)
 		k := core.NewSink(ctx, tid)
 		lo, hi = core.Chunk(len(ctx.S), ctx.Threads, tid)
+		tw.AddTuples(int64(hi - lo))
 		for i, s := range ctx.S[lo:hi] {
 			if i&(matchBatch-1) == 0 {
 				k.Refresh()
@@ -86,7 +88,7 @@ func (a NPJ) Run(ctx *core.ExecContext) error {
 			sv := s
 			table.Probe(s.Key, func(r tuple.Tuple) { k.Match(r, sv) })
 		}
-		tm.End()
+		ctx.EndPhase(tid)
 	})
 	ctx.M.MemAdd(table.MemBytes() - baseMem) // overflow chains grown at build
 	ctx.M.MemSampleNow(ctx.NowMs())

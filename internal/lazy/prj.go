@@ -46,14 +46,16 @@ func (PRJ) Run(ctx *core.ExecContext) error {
 	barrier.Add(ctx.Threads)
 
 	parallel(ctx.Threads, func(tid int) {
-		tm := ctx.M.T(tid)
+		tw := ctx.TraceWorker(tid)
 		ctx.WaitWindow(tid)
 
 		// Phase 1: physically partition this thread's chunks.
 		ctx.Begin(tid, metrics.PhasePartition)
 		lo, hi := core.Chunk(len(ctx.R), ctx.Threads, tid)
+		tw.AddTuples(int64(hi - lo))
 		partsR[tid] = radix.PartitionMultiPass(ctx.R[lo:hi], bits, ctx.Tracer, 0)
 		lo, hi = core.Chunk(len(ctx.S), ctx.Threads, tid)
+		tw.AddTuples(int64(hi - lo))
 		partsS[tid] = radix.PartitionMultiPass(ctx.S[lo:hi], bits, ctx.Tracer, 1<<34)
 		ctx.M.MemAdd(int64(hi-lo) * 16 * 2) // physical copies of both inputs
 		ctx.Begin(tid, metrics.PhaseOther)
@@ -76,6 +78,7 @@ func (PRJ) Run(ctx *core.ExecContext) error {
 			if nR == 0 {
 				continue
 			}
+			tw.AddTuples(int64(nR))
 			table := hashtable.New(nR)
 			if ctx.Tracer != nil {
 				table.SetTracer(ctx.Tracer, uint64(p)<<22|1<<40)
@@ -90,6 +93,7 @@ func (PRJ) Run(ctx *core.ExecContext) error {
 			ctx.Begin(tid, metrics.PhaseProbe)
 			k.Refresh()
 			for t := 0; t < ctx.Threads; t++ {
+				tw.AddTuples(int64(len(partsS[t][p])))
 				for i, s := range partsS[t][p] {
 					if i&(matchBatch-1) == 0 {
 						k.Refresh()
@@ -100,7 +104,7 @@ func (PRJ) Run(ctx *core.ExecContext) error {
 			}
 			ctx.M.MemAdd(-table.MemBytes()) // partition table released
 		}
-		tm.End()
+		ctx.EndPhase(tid)
 	})
 	ctx.M.MemSampleNow(ctx.NowMs())
 	return nil

@@ -64,7 +64,7 @@ func runSortJoin(ctx *core.ExecContext, multiway bool) error {
 	barrier.Add(tcount)
 
 	parallel(tcount, func(tid int) {
-		tm := ctx.M.T(tid)
+		tw := ctx.TraceWorker(tid)
 		ctx.WaitWindow(tid)
 
 		// Partition: take a physical copy of the equisized chunk so
@@ -75,10 +75,12 @@ func runSortJoin(ctx *core.ExecContext, multiway bool) error {
 		runsR[tid] = ctx.R[lo:hi].Clone()
 		lo, hi = core.Chunk(len(ctx.S), tcount, tid)
 		runsS[tid] = ctx.S[lo:hi].Clone()
+		tw.AddTuples(int64(len(runsR[tid]) + len(runsS[tid])))
 		ctx.M.MemAdd(int64(len(runsR[tid])+len(runsS[tid])) * 16)
 
 		// Sort the local runs.
 		ctx.Begin(tid, metrics.PhaseBuildSort)
+		tw.AddTuples(int64(len(runsR[tid]) + len(runsS[tid])))
 		sortmerge.SortByKey(runsR[tid], ctx.Knobs.SIMD, ctx.Tracer, uint64(tid)<<32)
 		sortmerge.SortByKey(runsS[tid], ctx.Knobs.SIMD, ctx.Tracer, uint64(tid)<<32|1<<31)
 		ctx.Begin(tid, metrics.PhaseOther)
@@ -97,15 +99,17 @@ func runSortJoin(ctx *core.ExecContext, multiway bool) error {
 			mergedR[tid] = sortmerge.TwoWayMergePasses(sliceR, ctx.Knobs.SIMD)
 			mergedS[tid] = sortmerge.TwoWayMergePasses(sliceS, ctx.Knobs.SIMD)
 		}
+		tw.AddTuples(int64(len(mergedR[tid]) + len(mergedS[tid])))
 		ctx.M.MemAdd(int64(len(mergedR[tid])+len(mergedS[tid])) * 16)
 
 		// Match the aligned key range with a single-pass merge join.
 		ctx.Begin(tid, metrics.PhaseProbe)
+		tw.AddTuples(int64(len(mergedR[tid]) + len(mergedS[tid])))
 		k := core.NewSink(ctx, tid)
 		sortmerge.MergeJoin(mergedR[tid], mergedS[tid], func(r, s tuple.Tuple) {
 			k.Match(r, s)
 		}, ctx.Tracer, uint64(tid)<<33, uint64(tid)<<33|1<<32)
-		tm.End()
+		ctx.EndPhase(tid)
 	})
 	ctx.M.MemSampleNow(ctx.NowMs())
 	return nil

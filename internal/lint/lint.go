@@ -76,6 +76,7 @@ func All() []Analyzer {
 		GoroutineLeak{},
 		HotPathAlloc{},
 		PanicPolicy{},
+		TraceRing{},
 	}
 }
 

@@ -91,6 +91,7 @@ func TestAnalyzersAgainstFixtures(t *testing.T) {
 		{GoroutineLeak{}, "goroutineleak.go"},
 		{HotPathAlloc{}, "hotpathalloc.go"},
 		{PanicPolicy{}, "panicpolicy.go"},
+		{TraceRing{}, "tracering.go"},
 	}
 	for _, tc := range table {
 		t.Run(tc.analyzer.Name(), func(t *testing.T) {

@@ -1,0 +1,32 @@
+package fixture
+
+import "repro/internal/trace"
+
+//iawj:hotpath
+func hotRecordSpans(w *trace.Worker, r *trace.Recorder, keys []int) {
+	for _, k := range keys {
+		w.Begin(4) // ok: preallocated ring API
+		w.AddTuples(int64(k))
+		w.End()
+		w.Record(4, 0, 1, int64(k)) // ok: explicit-measure ring API
+		_ = trace.NewRecorder(1, 1) // want tracering
+		_ = r.Snapshot()            // want tracering
+		r.StartRun("NPJ")           // want tracering
+	}
+}
+
+//iawj:hotpath
+func hotWithTraceClosure(r *trace.Recorder, keys []int) {
+	for _, k := range keys {
+		export := func() int {
+			return len(r.Algorithms()) // want tracering
+		}
+		_ = export() + k
+	}
+}
+
+func coldExport(r *trace.Recorder) []trace.Span {
+	// Not annotated: snapshotting and construction are fine off the hot
+	// path.
+	return r.Snapshot()
+}

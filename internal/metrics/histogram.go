@@ -1,6 +1,9 @@
 package metrics
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // Histogram is a log-bucketed histogram of non-negative int64 values in the
 // spirit of HDR histograms: each power-of-two octave is split into 16
@@ -20,23 +23,14 @@ func bucketOf(v int64) int {
 	if v < subBuckets {
 		return int(v) // exact buckets for tiny values
 	}
-	// Position of the highest set bit.
+	// Position of the highest set bit, branch-free via math/bits (the
+	// hardware LZCNT/CLZ instruction on amd64/arm64): Record sits on the
+	// match path of every algorithm, so this beats a shift loop that costs
+	// up to 63 iterations for small values.
 	u := uint64(v)
-	msb := 63 - leadingZeros(u)
+	msb := 63 - bits.LeadingZeros64(u)
 	sub := (u >> (uint(msb) - 4)) & (subBuckets - 1)
 	return (msb-3)*subBuckets + int(sub)
-}
-
-func leadingZeros(x uint64) int {
-	n := 0
-	if x == 0 {
-		return 64
-	}
-	for x&(1<<63) == 0 {
-		x <<= 1
-		n++
-	}
-	return n
 }
 
 // bucketLow returns a representative (lower-bound) value for bucket i,

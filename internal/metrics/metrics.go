@@ -171,8 +171,10 @@ type Result struct {
 	ThroughputTPM float64
 	// LatencyP95Ms is the 95th-percentile worst-case processing latency.
 	LatencyP95Ms int64
-	// LatencyP50Ms / LatencyMaxMs complete the latency picture.
+	// LatencyP50Ms / LatencyP99Ms / LatencyMaxMs complete the latency
+	// picture.
 	LatencyP50Ms int64
+	LatencyP99Ms int64
 	LatencyMaxMs int64
 	// Progress is the cumulative-percent-of-matches curve.
 	Progress []CumulativePoint
@@ -221,6 +223,7 @@ func (c *Collector) Snapshot(algorithm string, inputs int64, wallNs int64) Resul
 	}
 	res.LatencyP95Ms = lat.Quantile(0.95)
 	res.LatencyP50Ms = lat.Quantile(0.50)
+	res.LatencyP99Ms = lat.Quantile(0.99)
 	res.LatencyMaxMs = lat.Max()
 	res.Progress = prog.CDF()
 	if wallNs > 0 && len(c.threads) > 0 {

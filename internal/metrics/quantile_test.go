@@ -1,0 +1,100 @@
+package metrics
+
+import "testing"
+
+// The edge cases of the quantile machinery: empty histograms, a single
+// bucket, and the max-value clamp that keeps bucket lower bounds from
+// overshooting the actual maximum.
+
+func TestQuantileEmptyHistogram(t *testing.T) {
+	var h Histogram
+	for _, q := range []float64{0.01, 0.5, 0.95, 0.99, 1.0} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+	if h.Max() != 0 || h.Total() != 0 {
+		t.Errorf("empty histogram Max/Total = %d/%d, want 0/0", h.Max(), h.Total())
+	}
+	if cdf := h.CDF(); cdf != nil {
+		t.Errorf("empty CDF = %v, want nil", cdf)
+	}
+}
+
+func TestQuantileSingleBucket(t *testing.T) {
+	var h Histogram
+	h.Record(7, 100)
+	// Every quantile of a single-bucket histogram is that bucket's value.
+	for _, q := range []float64{0.001, 0.5, 0.99, 1.0} {
+		if got := h.Quantile(q); got != 7 {
+			t.Errorf("single-bucket Quantile(%v) = %d, want 7", q, got)
+		}
+	}
+	cdf := h.CDF()
+	if len(cdf) != 1 || cdf[0].V != 7 || cdf[0].Frac != 1.0 {
+		t.Errorf("single-bucket CDF = %+v, want [{7 1}]", cdf)
+	}
+}
+
+func TestQuantileMaxValueClamp(t *testing.T) {
+	var h Histogram
+	// 1000 lands mid-octave: its bucket's lower bound is 992, the next
+	// representative above would exceed the recorded max. A quantile may
+	// never report a value above Max().
+	h.Record(1000, 1)
+	if got := h.Quantile(1.0); got > h.Max() {
+		t.Errorf("Quantile(1) = %d exceeds Max %d", got, h.Max())
+	}
+	// An extreme value in the top octave must clamp too.
+	var h2 Histogram
+	h2.Record(1<<62+3, 5)
+	if got := h2.Quantile(0.99); got > h2.Max() {
+		t.Errorf("Quantile(0.99) = %d exceeds Max %d", got, h2.Max())
+	}
+	if h2.Max() != 1<<62+3 {
+		t.Errorf("Max = %d, want %d", h2.Max(), int64(1<<62+3))
+	}
+}
+
+func TestQuantileTinyTargetClampsToOne(t *testing.T) {
+	var h Histogram
+	h.Record(3, 1)
+	h.Record(5, 1)
+	// q so small that ceil(q*total) rounds to 0 — must clamp to the first
+	// observation, not scan past every bucket.
+	if got := h.Quantile(1e-12); got != 3 {
+		t.Errorf("Quantile(1e-12) = %d, want 3", got)
+	}
+}
+
+func TestTimeToFrac(t *testing.T) {
+	r := Result{Progress: []CumulativePoint{
+		{V: 10, Frac: 0.2},
+		{V: 20, Frac: 0.5},
+		{V: 40, Frac: 0.9},
+		{V: 80, Frac: 1.0},
+	}}
+	cases := []struct {
+		frac float64
+		want int64
+	}{
+		{0.1, 10},  // before the first point: earliest sample qualifies
+		{0.2, 10},  // exact hit
+		{0.5, 20},  // exact hit on a middle point
+		{0.6, 40},  // between points: first point at or above wins
+		{1.0, 80},  // full delivery
+		{1.01, 80}, // beyond 1: falls back to the last point
+	}
+	for _, c := range cases {
+		if got := r.TimeToFrac(c.frac); got != c.want {
+			t.Errorf("TimeToFrac(%v) = %d, want %d", c.frac, got, c.want)
+		}
+	}
+}
+
+func TestTimeToFracEmptyProgress(t *testing.T) {
+	var r Result
+	if got := r.TimeToFrac(0.5); got != 0 {
+		t.Errorf("TimeToFrac on empty progress = %d, want 0", got)
+	}
+}

@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// JournalEntry is one machine-readable run summary: the three paper
+// metrics (throughput, quantile latency, progressiveness) plus the phase
+// breakdown, one JSON object per line. The schema field versions the
+// format so downstream tooling can evolve.
+type JournalEntry struct {
+	Schema        string           `json:"schema"`
+	Kind          string           `json:"kind"`
+	Algorithm     string           `json:"algorithm"`
+	Threads       int              `json:"threads"`
+	Inputs        int64            `json:"inputs"`
+	Matches       int64            `json:"matches"`
+	ThroughputTPM float64          `json:"throughput_tuples_per_ms"`
+	LatencyP50Ms  int64            `json:"latency_p50_ms"`
+	LatencyP95Ms  int64            `json:"latency_p95_ms"`
+	LatencyP99Ms  int64            `json:"latency_p99_ms"`
+	LatencyMaxMs  int64            `json:"latency_max_ms"`
+	WallNs        int64            `json:"wall_ns"`
+	CPUUtil       float64          `json:"cpu_utilization"`
+	MemPeakBytes  int64            `json:"mem_peak_bytes"`
+	PhaseNs       map[string]int64 `json:"phase_ns"`
+	Progress      []ProgressPoint  `json:"progress"`
+}
+
+// ProgressPoint is one sample of the progressiveness curve: Frac of all
+// matches had been delivered by simulated time Ms.
+type ProgressPoint struct {
+	Ms   int64   `json:"ms"`
+	Frac float64 `json:"frac"`
+}
+
+// JournalSchema versions JournalEntry.
+const JournalSchema = "iawj-journal/v1"
+
+// EntryOf flattens a metrics.Result into a journal entry.
+func EntryOf(res metrics.Result) JournalEntry {
+	e := JournalEntry{
+		Schema:        JournalSchema,
+		Kind:          "run",
+		Algorithm:     res.Algorithm,
+		Threads:       res.Threads,
+		Inputs:        res.Inputs,
+		Matches:       res.Matches,
+		ThroughputTPM: res.ThroughputTPM,
+		LatencyP50Ms:  res.LatencyP50Ms,
+		LatencyP95Ms:  res.LatencyP95Ms,
+		LatencyP99Ms:  res.LatencyP99Ms,
+		LatencyMaxMs:  res.LatencyMaxMs,
+		WallNs:        res.WallNs,
+		CPUUtil:       res.CPUUtil,
+		MemPeakBytes:  res.MemPeakBytes,
+		PhaseNs:       make(map[string]int64, len(res.PhaseNs)),
+	}
+	for i, ns := range res.PhaseNs {
+		e.PhaseNs[metrics.Phase(i).String()] = ns
+	}
+	for _, p := range res.Progress {
+		e.Progress = append(e.Progress, ProgressPoint{Ms: p.V, Frac: p.Frac})
+	}
+	return e
+}
+
+// JournalWriter appends JSONL entries; safe for concurrent use.
+type JournalWriter struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewJournalWriter wraps w; each Write emits one line.
+func NewJournalWriter(w io.Writer) *JournalWriter {
+	return &JournalWriter{enc: json.NewEncoder(w)}
+}
+
+// Write appends one run summary. Nil-safe, so callers can keep an optional
+// journal without branching.
+func (jw *JournalWriter) Write(res metrics.Result) error {
+	if jw == nil {
+		return nil
+	}
+	jw.mu.Lock()
+	defer jw.mu.Unlock()
+	return jw.enc.Encode(EntryOf(res))
+}

@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// metricsResultFixture builds a fully populated Result for journal and
+// registry tests.
+func metricsResultFixture() metrics.Result {
+	return metrics.Result{
+		Algorithm:     "SHJ_JM",
+		Threads:       4,
+		Inputs:        2000,
+		Matches:       1500,
+		LastMatchMs:   90,
+		ThroughputTPM: 22.2,
+		LatencyP50Ms:  3,
+		LatencyP95Ms:  8,
+		LatencyP99Ms:  9,
+		LatencyMaxMs:  12,
+		Progress: []metrics.CumulativePoint{
+			{V: 10, Frac: 0.25},
+			{V: 50, Frac: 0.75},
+			{V: 90, Frac: 1.0},
+		},
+		PhaseNs:      [6]int64{100, 200, 300, 400, 500, 600},
+		WallNs:       1_000_000,
+		CPUUtil:      0.8,
+		MemPeakBytes: 1 << 20,
+	}
+}
+
+func TestEntryOf(t *testing.T) {
+	e := EntryOf(metricsResultFixture())
+	if e.Schema != JournalSchema || e.Kind != "run" {
+		t.Errorf("schema/kind = %q/%q", e.Schema, e.Kind)
+	}
+	if e.Algorithm != "SHJ_JM" || e.Threads != 4 || e.Inputs != 2000 || e.Matches != 1500 {
+		t.Errorf("identity fields wrong: %+v", e)
+	}
+	if e.LatencyP99Ms != 9 || e.LatencyMaxMs != 12 {
+		t.Errorf("latency fields wrong: %+v", e)
+	}
+	want := map[string]int64{
+		"wait": 100, "partition": 200, "build/sort": 300,
+		"merge": 400, "probe": 500, "others": 600,
+	}
+	for k, v := range want {
+		if e.PhaseNs[k] != v {
+			t.Errorf("PhaseNs[%q] = %d, want %d", k, e.PhaseNs[k], v)
+		}
+	}
+	if len(e.Progress) != 3 || e.Progress[1].Ms != 50 || e.Progress[1].Frac != 0.75 {
+		t.Errorf("progress curve wrong: %+v", e.Progress)
+	}
+}
+
+func TestJournalWriterEmitsJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	jw := NewJournalWriter(&buf)
+	if err := jw.Write(metricsResultFixture()); err != nil {
+		t.Fatal(err)
+	}
+	if err := jw.Write(metricsResultFixture()); err != nil {
+		t.Fatal(err)
+	}
+
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	for sc.Scan() {
+		lines++
+		var e JournalEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v", lines, err)
+		}
+		if e.Schema != JournalSchema {
+			t.Errorf("line %d schema = %q, want %q", lines, e.Schema, JournalSchema)
+		}
+	}
+	if lines != 2 {
+		t.Errorf("got %d lines, want 2", lines)
+	}
+}

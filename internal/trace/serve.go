@@ -1,0 +1,226 @@
+package trace
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// Registry aggregates completed-run metrics per algorithm and, when a live
+// Recorder is attached, per-phase span totals of the run in flight. It
+// serves everything in the Prometheus text exposition format without any
+// dependency beyond net/http.
+type Registry struct {
+	mu   sync.Mutex
+	algs map[string]*algStats
+
+	rec struct {
+		sync.Mutex
+		r *Recorder
+	}
+}
+
+// algStats accumulates one algorithm's observed runs.
+type algStats struct {
+	runs    int64
+	inputs  int64
+	matches int64
+	phaseNs [6]int64
+
+	// Gauges from the most recent run.
+	throughputTPM      float64
+	p50, p95, p99, max int64
+	cpuUtil            float64
+	memPeak            int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{algs: map[string]*algStats{}}
+}
+
+// Observe folds one finished run into the per-algorithm counters.
+func (g *Registry) Observe(res metrics.Result) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	st := g.algs[res.Algorithm]
+	if st == nil {
+		st = &algStats{}
+		g.algs[res.Algorithm] = st
+	}
+	st.runs++
+	st.inputs += res.Inputs
+	st.matches += res.Matches
+	for i, ns := range res.PhaseNs {
+		st.phaseNs[i] += ns
+	}
+	st.throughputTPM = res.ThroughputTPM
+	st.p50, st.p95, st.p99, st.max = res.LatencyP50Ms, res.LatencyP95Ms, res.LatencyP99Ms, res.LatencyMaxMs
+	st.cpuUtil = res.CPUUtil
+	st.memPeak = res.MemPeakBytes
+}
+
+// Attach exposes a live recorder's span totals on /metrics; pass nil to
+// detach.
+func (g *Registry) Attach(r *Recorder) {
+	if g == nil {
+		return
+	}
+	g.rec.Lock()
+	g.rec.r = r
+	g.rec.Unlock()
+}
+
+// escapeLabel escapes a Prometheus label value.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// ServeHTTP implements the /metrics handler.
+func (g *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b strings.Builder
+
+	g.mu.Lock()
+	names := make([]string, 0, len(g.algs))
+	for name := range g.algs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	writeHeader := func(name, typ, help string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	}
+
+	writeHeader("iawj_runs_total", "counter", "Completed join runs per algorithm.")
+	for _, name := range names {
+		fmt.Fprintf(&b, "iawj_runs_total{algorithm=%q} %d\n", escapeLabel(name), g.algs[name].runs)
+	}
+	writeHeader("iawj_inputs_total", "counter", "Input tuples consumed per algorithm.")
+	for _, name := range names {
+		fmt.Fprintf(&b, "iawj_inputs_total{algorithm=%q} %d\n", escapeLabel(name), g.algs[name].inputs)
+	}
+	writeHeader("iawj_matches_total", "counter", "Join matches produced per algorithm.")
+	for _, name := range names {
+		fmt.Fprintf(&b, "iawj_matches_total{algorithm=%q} %d\n", escapeLabel(name), g.algs[name].matches)
+	}
+	writeHeader("iawj_phase_ns_total", "counter", "Per-phase busy nanoseconds per algorithm (Figure 7 breakdown).")
+	for _, name := range names {
+		for p, ns := range g.algs[name].phaseNs {
+			fmt.Fprintf(&b, "iawj_phase_ns_total{algorithm=%q,phase=%q} %d\n",
+				escapeLabel(name), escapeLabel(metrics.Phase(p).String()), ns)
+		}
+	}
+	writeHeader("iawj_throughput_tuples_per_ms", "gauge", "Last-run throughput per algorithm.")
+	for _, name := range names {
+		fmt.Fprintf(&b, "iawj_throughput_tuples_per_ms{algorithm=%q} %g\n", escapeLabel(name), g.algs[name].throughputTPM)
+	}
+	writeHeader("iawj_latency_ms", "gauge", "Last-run latency quantiles per algorithm.")
+	for _, name := range names {
+		st := g.algs[name]
+		for _, q := range []struct {
+			label string
+			v     int64
+		}{{"0.5", st.p50}, {"0.95", st.p95}, {"0.99", st.p99}, {"max", st.max}} {
+			fmt.Fprintf(&b, "iawj_latency_ms{algorithm=%q,quantile=%q} %d\n", escapeLabel(name), q.label, q.v)
+		}
+	}
+	writeHeader("iawj_cpu_utilization", "gauge", "Last-run busy-thread fraction per algorithm.")
+	for _, name := range names {
+		fmt.Fprintf(&b, "iawj_cpu_utilization{algorithm=%q} %g\n", escapeLabel(name), g.algs[name].cpuUtil)
+	}
+	writeHeader("iawj_mem_peak_bytes", "gauge", "Last-run peak logical memory per algorithm.")
+	for _, name := range names {
+		fmt.Fprintf(&b, "iawj_mem_peak_bytes{algorithm=%q} %d\n", escapeLabel(name), g.algs[name].memPeak)
+	}
+	g.mu.Unlock()
+
+	g.rec.Lock()
+	rec := g.rec.r
+	g.rec.Unlock()
+	if rec != nil {
+		writeHeader("iawj_trace_spans", "gauge", "Published spans in the attached live recorder.")
+		fmt.Fprintf(&b, "iawj_trace_spans %d\n", rec.SpanCount())
+		writeHeader("iawj_trace_dropped_spans_total", "counter", "Spans dropped to full rings in the attached recorder.")
+		fmt.Fprintf(&b, "iawj_trace_dropped_spans_total %d\n", rec.Dropped())
+
+		// Live per-algorithm/per-phase busy time from the published spans:
+		// the in-flight view of the Figure 7 breakdown.
+		type key struct {
+			alg   int32
+			phase int32
+		}
+		byKey := map[key]int64{}
+		for _, s := range rec.Snapshot() {
+			byKey[key{s.Alg, s.Phase}] += s.DurNs
+		}
+		keys := make([]key, 0, len(byKey))
+		for k := range byKey {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].alg != keys[j].alg {
+				return keys[i].alg < keys[j].alg
+			}
+			return keys[i].phase < keys[j].phase
+		})
+		writeHeader("iawj_trace_span_ns_total", "counter", "Per-phase span nanoseconds published by the attached recorder.")
+		for _, k := range keys {
+			fmt.Fprintf(&b, "iawj_trace_span_ns_total{algorithm=%q,phase=%q} %d\n",
+				escapeLabel(rec.AlgName(k.alg)), escapeLabel(metrics.Phase(k.phase).String()), byKey[k])
+		}
+	}
+
+	_, _ = w.Write([]byte(b.String()))
+}
+
+// NewServeMux assembles the live observability endpoint: Prometheus text
+// on /metrics, the net/http/pprof profiler under /debug/pprof/, expvar on
+// /debug/vars, and a trivial /healthz. Mount it with http.ListenAndServe
+// or httptest for tests.
+func NewServeMux(g *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", g)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+// Serve starts the observability endpoint on addr in a goroutine and
+// returns the listener address (useful with ":0"). The server runs until
+// the process exits; errors after startup are reported on errc if non-nil.
+func Serve(addr string, g *Registry, errc chan<- error) (string, error) {
+	srv := &http.Server{Addr: addr, Handler: NewServeMux(g)}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	//lint:allow goroutineleak the endpoint intentionally serves for the process lifetime
+	go func() {
+		err := srv.Serve(ln)
+		if errc != nil {
+			errc <- err
+		}
+	}()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# bench.sh — short per-algorithm benchmark sweep, machine-readable.
+#
+# Runs the BenchmarkJoin microbenchmark over the eight studied algorithms
+# (see bench_test.go) and writes the parsed results as JSON, one object
+# per algorithm with ns/op, MB/s, and the match count. The output file
+# defaults to BENCH_2.json at the repo root:
+#
+#   ./scripts/bench.sh                # writes BENCH_2.json
+#   BENCHTIME=5x ./scripts/bench.sh out.json
+#
+# The sweep is intentionally short (BENCHTIME defaults to 1x): it is a
+# regression tripwire and JSON schema anchor, not a rigorous measurement —
+# raise BENCHTIME for one.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_2.json}"
+BENCHTIME="${BENCHTIME:-1x}"
+
+raw="$(go test -run '^$' -bench '^BenchmarkJoin$' -benchtime="$BENCHTIME" .)"
+
+echo "$raw" | awk -v benchtime="$BENCHTIME" '
+BEGIN { n = 0 }
+/^goos:/    { goos = $2 }
+/^goarch:/  { goarch = $2 }
+/^cpu:/     { sub(/^cpu: /, ""); cpu = $0 }
+/^BenchmarkJoin\// {
+    # BenchmarkJoin/NPJ-8  1  123456 ns/op  12.34 MB/s  29119 matches
+    split($1, parts, "/")
+    sub(/-[0-9]+$/, "", parts[2])
+    alg[n] = parts[2]
+    iters[n] = $2
+    nsop[n] = ""; mbs[n] = ""; matches[n] = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op")   nsop[n] = $i
+        if ($(i+1) == "MB/s")    mbs[n] = $i
+        if ($(i+1) == "matches") matches[n] = $i
+    }
+    n++
+}
+END {
+    if (n == 0) { print "bench.sh: no BenchmarkJoin results parsed" > "/dev/stderr"; exit 1 }
+    printf "{\n"
+    printf "  \"schema\": \"iawj-bench/v1\",\n"
+    printf "  \"benchmark\": \"BenchmarkJoin\",\n"
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"goos\": \"%s\",\n", goos
+    printf "  \"goarch\": \"%s\",\n", goarch
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"results\": [\n"
+    for (i = 0; i < n; i++) {
+        printf "    {\"algorithm\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"mb_per_s\": %s, \"matches\": %s}%s\n", \
+            alg[i], iters[i], nsop[i], mbs[i], matches[i], (i < n-1 ? "," : "")
+    }
+    printf "  ]\n"
+    printf "}\n"
+}' > "$OUT"
+
+count="$(grep -c '"algorithm"' "$OUT")"
+echo "bench.sh: wrote $OUT ($count algorithms)"

@@ -8,7 +8,9 @@
 #   4. iawjlint     repo-specific analyzers (see LINTING.md)
 #   5. go test      tier-1 verify
 #   6. go test -race  concurrency correctness, incl. the eager stress test
-#   7. fuzz smoke   5s per existing fuzz target on the gen/ingest parsers
+#   7. trace smoke  a scaled-down fig7 sweep with -trace must yield valid
+#                   Chrome trace JSON with spans for every phase
+#   8. fuzz smoke   5s per existing fuzz target on the gen/ingest parsers
 #
 # Any stage failing aborts the gate with a non-zero exit.
 set -euo pipefail
@@ -41,6 +43,20 @@ go test ./...
 
 step "go test -race ./..."
 go test -race ./...
+
+step "trace smoke (fig7 -trace, all six phases)"
+tracedir="$(mktemp -d)"
+trap 'rm -rf "$tracedir"' EXIT
+go run ./cmd/iawjbench -exp fig7 -scale 0.01 -spancap 65536 \
+    -trace "$tracedir/trace.json" -journal "$tracedir/runs.jsonl" >/dev/null
+go run ./cmd/iawjtrace -q \
+    -want "wait,partition,build/sort,merge,probe,others" "$tracedir/trace.json"
+journal_lines="$(wc -l < "$tracedir/runs.jsonl")"
+if [ "$journal_lines" -lt 1 ]; then
+    echo "trace smoke: journal is empty" >&2
+    exit 1
+fi
+echo "ok (journal: $journal_lines runs)"
 
 step "fuzz smoke (${FUZZTIME} per target)"
 go test -run='^$' -fuzz='^FuzzReadCSV$' -fuzztime="$FUZZTIME" ./internal/gen
