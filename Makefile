@@ -6,7 +6,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: check build test lint race trace-smoke bench fuzz-smoke fmt
+.PHONY: check build test lint race trace-smoke bench bench-kernels bench-smoke fuzz-smoke fmt
 
 ## check: run the full CI gate (fmt, vet, build, lint, test, race, fuzz)
 check:
@@ -37,6 +37,14 @@ trace-smoke:
 ## bench: short per-algorithm benchmark sweep, writes BENCH_2.json
 bench:
 	./scripts/bench.sh
+
+## bench-kernels: kernel-layer sweep (partition/build/probe), writes BENCH_3.json
+bench-kernels:
+	./scripts/bench.sh kernels
+
+## bench-smoke: every kernel microbenchmark once, under the race detector
+bench-smoke:
+	$(GO) test -race -run '^$$' -bench '^BenchmarkKernel' -benchtime=1x ./internal/radix ./internal/hashtable
 
 ## fuzz-smoke: short fuzz run on the gen/ingest parsers
 fuzz-smoke:

@@ -26,6 +26,7 @@ import (
 	"repro/internal/eager"
 	"repro/internal/lazy"
 	"repro/internal/metrics"
+	"repro/internal/pool"
 	"repro/internal/trace"
 	"repro/internal/tuple"
 )
@@ -86,7 +87,22 @@ type Config struct {
 	// NewTraceRecorder and OBSERVABILITY.md); nil disables tracing at
 	// zero cost.
 	Trace *TraceRecorder
+
+	// Pool recycles per-window kernel state (hash tables, partitioner
+	// scratch, match buffers) across joins sharing the pool. Create one
+	// with NewStatePool and reuse it across the windows of a stream;
+	// steady-state windows then run with zero kernel allocations
+	// (PERFORMANCE.md). Nil allocates fresh state per join.
+	Pool *StatePool
 }
+
+// StatePool is the reusable per-window kernel state arena; see
+// NewStatePool and PERFORMANCE.md. A StatePool is safe for concurrent use
+// by the workers of one join and by concurrent joins.
+type StatePool = pool.Pool
+
+// NewStatePool returns an empty state pool for Config.Pool.
+func NewStatePool() *StatePool { return pool.New() }
 
 // TraceRecorder is the per-worker phase-span recorder; see NewTraceRecorder.
 type TraceRecorder = trace.Recorder
@@ -183,6 +199,7 @@ func Join(r, s Relation, cfg Config) (Result, error) {
 		Tracer: cfg.Tracer,
 		Trace:  cfg.Trace,
 		Emit:   cfg.Emit,
+		Pool:   cfg.Pool,
 	})
 }
 

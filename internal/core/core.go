@@ -18,6 +18,7 @@ import (
 	"repro/internal/cachesim"
 	"repro/internal/clock"
 	"repro/internal/metrics"
+	"repro/internal/pool"
 	"repro/internal/trace"
 	"repro/internal/tuple"
 )
@@ -115,6 +116,11 @@ type ExecContext struct {
 	// measures the join process, not downstream consumption). Emit may
 	// be called concurrently from worker goroutines.
 	Emit func(tuple.JoinResult)
+	// Pool recycles per-window kernel state (hash tables, partitioner
+	// scratch, match buffers) across windows; nil disables pooling, and
+	// every pool method accepts the nil receiver, so algorithms call it
+	// unconditionally (see internal/pool and PERFORMANCE.md).
+	Pool *pool.Pool
 }
 
 // NowMs returns the current simulated time.
@@ -222,6 +228,9 @@ type RunConfig struct {
 	// run is tagged with the algorithm name via StartRun.
 	Trace *trace.Recorder
 	Emit  func(tuple.JoinResult)
+	// Pool recycles per-window kernel state across runs; nil allocates
+	// fresh state per run (the pre-pool behaviour).
+	Pool *pool.Pool
 }
 
 // DefaultNsPerSimMs compresses one simulated millisecond into 50µs of real
@@ -279,6 +288,7 @@ func Run(alg Algorithm, r, s tuple.Relation, windowMs int64, cfg RunConfig) (met
 		Tracer:   cfg.Tracer,
 		Trace:    cfg.Trace,
 		Emit:     cfg.Emit,
+		Pool:     cfg.Pool,
 	}
 	sw := clock.StartStopwatch()
 	if err := alg.Run(ctx); err != nil {

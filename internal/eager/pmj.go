@@ -145,6 +145,26 @@ func (a PMJ) Run(ctx *core.ExecContext) error {
 		rcur := &cursor{rel: ctx.R, tracer: ctx.Tracer, base: 1 << 47}
 		scur := &cursor{rel: ctx.S, tracer: ctx.Tracer, base: 1<<47 | 1<<45}
 
+		// Hoisted loop state and closures: the accumulate loop and the
+		// merge-phase scan reuse these instead of constructing fresh
+		// closures every iteration.
+		var now int64
+		var rWaiting, sWaiting bool
+		nR, nS := 0, 0
+		ownsR, ownsS := dist.ownsR, dist.ownsS
+		physical := ctx.Knobs.PhysicalPartition
+		emit := func(r, s tuple.Tuple) { sink.Match(r, s) }
+		pull := func() int64 {
+			before := len(curR)
+			curR, rWaiting = rcur.batch(curR, bsz, now, atRest, ownsR, physical)
+			nR = len(curR) - before
+			before = len(curS)
+			curS, sWaiting = scur.batch(curS, bsz, now, atRest, ownsS, physical)
+			nS = len(curS) - before
+			return int64(nR + nS)
+		}
+		stallFn := func() { time.Sleep(stall) }
+
 		seal := func() {
 			if len(curR) == 0 && len(curS) == 0 {
 				return
@@ -158,7 +178,7 @@ func (a PMJ) Run(ctx *core.ExecContext) error {
 			// Join the fresh run pair immediately: early results.
 			pt.timeCount(metrics.PhaseProbe, func() int64 {
 				sink.Refresh()
-				sortmerge.MergeJoin(curR, curS, func(r, s tuple.Tuple) { sink.Match(r, s) }, ctx.Tracer, 0, 0)
+				sortmerge.MergeJoin(curR, curS, emit, ctx.Tracer, 0, 0)
 				return int64(len(curR) + len(curS))
 			})
 			ru := run{r: curR, s: curS}
@@ -179,23 +199,14 @@ func (a PMJ) Run(ctx *core.ExecContext) error {
 		}
 
 		for !rcur.done() || !scur.done() {
-			now := ctx.NowMs()
-			var rWaiting, sWaiting bool
-			nR, nS := 0, 0
-			pt.timeCount(metrics.PhasePartition, func() int64 {
-				before := len(curR)
-				curR, rWaiting = rcur.batch(curR, bsz, now, atRest, dist.ownsR, ctx.Knobs.PhysicalPartition)
-				nR = len(curR) - before
-				before = len(curS)
-				curS, sWaiting = scur.batch(curS, bsz, now, atRest, dist.ownsS, ctx.Knobs.PhysicalPartition)
-				nS = len(curS) - before
-				return int64(nR + nS)
-			})
+			now = ctx.NowMs()
+			rWaiting, sWaiting = false, false
+			pt.timeCount(metrics.PhasePartition, pull)
 			if len(curR)+len(curS) >= step {
 				seal()
 			}
 			if nR == 0 && nS == 0 && (rWaiting || sWaiting) {
-				pt.time(metrics.PhaseWait, func() { time.Sleep(stall) })
+				pt.time(metrics.PhaseWait, stallFn)
 			}
 		}
 		seal() // the final partial run
@@ -221,7 +232,7 @@ func (a PMJ) Run(ctx *core.ExecContext) error {
 						fail(fmt.Errorf("eager: pmj reload: %w", err)) //lint:allow hotpathalloc error path, not per-tuple
 						return
 					}
-					sortmerge.MergeJoin(ri, sj, func(r, s tuple.Tuple) { sink.Match(r, s) }, ctx.Tracer, 0, 0)
+					sortmerge.MergeJoin(ri, sj, emit, ctx.Tracer, 0, 0)
 					sink.Refresh()
 				}
 			}

@@ -5,9 +5,7 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/hashtable"
 	"repro/internal/metrics"
-	"repro/internal/tuple"
 )
 
 // SHJ is the Symmetric Hash Join combined with a stream distribution
@@ -16,6 +14,12 @@ import (
 // immediately probes the opposite table (Figure 1a). The JM scheme
 // replicates R and round-robins S (content-insensitive); the JB scheme
 // routes keys to core groups (content-sensitive).
+//
+// Each pulled batch runs through the batched kernel APIs (InsertBatch /
+// ProbeBatch): one call per batch instead of one per tuple, and no
+// per-probe emit closure. Both per-worker tables and all batch buffers
+// come from the window pool when one is attached, so steady-state windows
+// join with zero allocations (PERFORMANCE.md).
 type SHJ struct {
 	// JB selects the join-biclique scheme; false selects join-matrix.
 	JB bool
@@ -44,7 +48,9 @@ func (SHJ) validate(ctx *core.ExecContext) error {
 }
 
 // Run implements core.Algorithm. The worker loop is the interleaved
-// build/probe inner loop of Figure 1a.
+// build/probe inner loop of Figure 1a. All phase closures and ownership
+// predicates are constructed once per worker, outside the round loop —
+// constructing them per round would allocate on every iteration.
 //
 //iawj:hotpath
 func (a SHJ) Run(ctx *core.ExecContext) error {
@@ -59,8 +65,8 @@ func (a SHJ) Run(ctx *core.ExecContext) error {
 		dist := makeDist(a.JB, ctx, tid)
 		sink := core.NewSink(ctx, tid)
 
-		rtab := hashtable.New(len(ctx.R)/maxInt(1, dist.estOwnersR(ctx)) + 16)
-		stab := hashtable.New(len(ctx.S)/ctx.Threads + 16)
+		rtab := ctx.Pool.Table(len(ctx.R)/maxInt(1, dist.estOwnersR(ctx))+16, 0)
+		stab := ctx.Pool.Table(len(ctx.S)/ctx.Threads+16, 0)
 		if ctx.Tracer != nil {
 			rtab.SetTracer(ctx.Tracer, uint64(tid)<<40|1<<48)
 			stab.SetTracer(ctx.Tracer, uint64(tid)<<40|1<<49)
@@ -70,61 +76,74 @@ func (a SHJ) Run(ctx *core.ExecContext) error {
 
 		rcur := &cursor{rel: ctx.R, tracer: ctx.Tracer, base: 1 << 46}
 		scur := &cursor{rel: ctx.S, tracer: ctx.Tracer, base: 1<<46 | 1<<45}
-		rbuf := make([]tuple.Tuple, 0, bsz)
-		sbuf := make([]tuple.Tuple, 0, bsz)
+		rbuf := ctx.Pool.Tuples(bsz)
+		sbuf := ctx.Pool.Tuples(bsz)
+		pairs := ctx.Pool.Tuples(2 * bsz)
 		rounds := 0
 
+		// Hoisted loop state and phase closures: the round loop reuses
+		// these instead of constructing fresh closures every iteration.
+		var now int64
+		var rWaiting, sWaiting bool
+		ownsR, ownsS := dist.ownsR, dist.ownsS
+		physical := ctx.Knobs.PhysicalPartition
+		pullR := func() int64 {
+			rbuf, rWaiting = rcur.batch(rbuf[:0], bsz, now, atRest, ownsR, physical)
+			return int64(len(rbuf))
+		}
+		buildR := func() int64 {
+			rtab.InsertBatch(rbuf)
+			return int64(len(rbuf))
+		}
+		probeR := func() int64 {
+			// ProbeBatch pairs are (stored, probe): stored is the S-side
+			// tuple here, the probe is from R.
+			pairs, _ = stab.ProbeBatch(rbuf, pairs[:0])
+			for i := 0; i+1 < len(pairs); i += 2 {
+				sink.Match(pairs[i+1], pairs[i])
+			}
+			return int64(len(rbuf))
+		}
+		pullS := func() int64 {
+			sbuf, sWaiting = scur.batch(sbuf[:0], bsz, now, atRest, ownsS, physical)
+			return int64(len(sbuf))
+		}
+		buildS := func() int64 {
+			stab.InsertBatch(sbuf)
+			return int64(len(sbuf))
+		}
+		probeS := func() int64 {
+			pairs, _ = rtab.ProbeBatch(sbuf, pairs[:0])
+			for i := 0; i+1 < len(pairs); i += 2 {
+				sink.Match(pairs[i], pairs[i+1])
+			}
+			return int64(len(sbuf))
+		}
+		stallFn := func() { time.Sleep(stall) }
+
 		for !rcur.done() || !scur.done() {
-			now := ctx.NowMs()
+			now = ctx.NowMs()
 			sink.Refresh()
-			var rWaiting, sWaiting bool
+			rWaiting, sWaiting = false, false
 
 			// Pull a batch from R: insert into the R table, probe the
 			// S table (interleaved build and probe).
-			pt.timeCount(metrics.PhasePartition, func() int64 {
-				rbuf, rWaiting = rcur.batch(rbuf[:0], bsz, now, atRest, dist.ownsR, ctx.Knobs.PhysicalPartition)
-				return int64(len(rbuf))
-			})
+			pt.timeCount(metrics.PhasePartition, pullR)
 			if len(rbuf) > 0 {
-				pt.timeCount(metrics.PhaseBuildSort, func() int64 {
-					for _, r := range rbuf {
-						rtab.Insert(r)
-					}
-					return int64(len(rbuf))
-				})
-				pt.timeCount(metrics.PhaseProbe, func() int64 {
-					for _, r := range rbuf {
-						rv := r
-						stab.Probe(r.Key, func(s tuple.Tuple) { sink.Match(rv, s) })
-					}
-					return int64(len(rbuf))
-				})
+				pt.timeCount(metrics.PhaseBuildSort, buildR)
+				pt.timeCount(metrics.PhaseProbe, probeR)
 			}
 
 			// Then alternate: pull a batch from S.
-			pt.timeCount(metrics.PhasePartition, func() int64 {
-				sbuf, sWaiting = scur.batch(sbuf[:0], bsz, now, atRest, dist.ownsS, ctx.Knobs.PhysicalPartition)
-				return int64(len(sbuf))
-			})
+			pt.timeCount(metrics.PhasePartition, pullS)
 			if len(sbuf) > 0 {
-				pt.timeCount(metrics.PhaseBuildSort, func() int64 {
-					for _, s := range sbuf {
-						stab.Insert(s)
-					}
-					return int64(len(sbuf))
-				})
-				pt.timeCount(metrics.PhaseProbe, func() int64 {
-					for _, s := range sbuf {
-						sv := s
-						rtab.Probe(s.Key, func(r tuple.Tuple) { sink.Match(r, sv) })
-					}
-					return int64(len(sbuf))
-				})
+				pt.timeCount(metrics.PhaseBuildSort, buildS)
+				pt.timeCount(metrics.PhaseProbe, probeS)
 			}
 
 			if len(rbuf) == 0 && len(sbuf) == 0 && (rWaiting || sWaiting) {
 				// Consumed faster than arrival: the worker stalls.
-				pt.time(metrics.PhaseWait, func() { time.Sleep(stall) })
+				pt.time(metrics.PhaseWait, stallFn)
 			}
 
 			rounds++
@@ -137,6 +156,11 @@ func (a SHJ) Run(ctx *core.ExecContext) error {
 				}
 			}
 		}
+		ctx.Pool.PutTuples(rbuf)
+		ctx.Pool.PutTuples(sbuf)
+		ctx.Pool.PutTuples(pairs)
+		ctx.Pool.PutTable(rtab)
+		ctx.Pool.PutTable(stab)
 		ctx.EndPhase(tid)
 	})
 	ctx.M.MemSampleNow(ctx.NowMs())

@@ -1,0 +1,212 @@
+package hashtable
+
+// Batched build/probe kernels.
+//
+// The scalar Insert/Probe APIs charge a function call per tuple and — when
+// the caller needs the matched tuples — a closure construction per probe,
+// which the escape analyzer heap-allocates because the closure captures
+// loop state. The batch APIs below amortize the call overhead over a
+// caller-sized batch and replace the emit closure with appends into a
+// caller-owned pair buffer, so the NPJ/PRJ/SHJ inner loops run without a
+// single per-tuple allocation (PERFORMANCE.md). The *Hashed variants take
+// hash values precomputed by the hash-once partitioning kernel
+// (radix.Partitioner), so a tuple that was already hashed for partition
+// selection is never hashed again for bucket placement.
+//
+// ProbeBatch appends matches as consecutive (stored, probe) tuple pairs:
+// dst[2i] is the stored build-side tuple, dst[2i+1] the probing tuple.
+// Matches keep the scalar order — probe order first, chain order second —
+// so batched and scalar kernels are differentially testable pair by pair.
+
+import "repro/internal/tuple"
+
+// InsertBatch inserts every tuple of xs, equivalent to calling Insert in a
+// loop but with the per-call overhead amortized over the batch.
+//
+//iawj:hotpath
+func (t *Table) InsertBatch(xs []tuple.Tuple) {
+	for i := range xs {
+		t.insertHashed(xs[i], Hash(xs[i].Key))
+	}
+	t.size += int64(len(xs))
+}
+
+// InsertBatchHashed inserts xs using precomputed hashes (aligned with xs),
+// the hash-once fast path fed by radix.Partitioner.PartitionHashed.
+//
+//iawj:hotpath
+func (t *Table) InsertBatchHashed(xs []tuple.Tuple, hashes []uint32) {
+	for i := range xs {
+		t.insertHashed(xs[i], hashes[i])
+	}
+	t.size += int64(len(xs))
+}
+
+// insertHashed is Insert with the hash supplied; size accounting is left
+// to the batch wrappers.
+func (t *Table) insertHashed(x tuple.Tuple, h uint32) {
+	idx := (h >> t.shift) & t.mask
+	b := &t.buckets[idx]
+	if t.tracer != nil {
+		t.tracer.Access(t.base + uint64(idx)*bucketBytes)
+		t.tracer.Op(4)
+	}
+	if b.n == bucketCap {
+		nb := t.newBucket()
+		*nb = *b
+		b.next = nb
+		b.n = 0
+		if t.tracer != nil {
+			t.tracer.Access(t.base + uint64(idx)*bucketBytes + uint64(t.extra)*(1<<20))
+			t.tracer.Op(4)
+		}
+	}
+	b.tuples[b.n] = x
+	b.n++
+}
+
+// ProbeBatch probes every tuple of probes and appends each match to dst as
+// a (stored, probe) pair. It returns the grown buffer and the match count.
+//
+//iawj:hotpath
+func (t *Table) ProbeBatch(probes []tuple.Tuple, dst []tuple.Tuple) ([]tuple.Tuple, int) {
+	n0 := len(dst)
+	for i := range probes {
+		dst = t.probeHashed(probes[i], Hash(probes[i].Key), dst)
+	}
+	return dst, (len(dst) - n0) / 2
+}
+
+// ProbeBatchHashed is ProbeBatch with precomputed hashes aligned with
+// probes.
+//
+//iawj:hotpath
+func (t *Table) ProbeBatchHashed(probes []tuple.Tuple, hashes []uint32, dst []tuple.Tuple) ([]tuple.Tuple, int) {
+	n0 := len(dst)
+	for i := range probes {
+		dst = t.probeHashed(probes[i], hashes[i], dst)
+	}
+	return dst, (len(dst) - n0) / 2
+}
+
+// ProbeBatchCount probes every tuple of probes and returns the match count
+// without materializing pairs — the count-only path of runs with no Emit.
+//
+//iawj:hotpath
+func (t *Table) ProbeBatchCount(probes []tuple.Tuple) int {
+	matches := 0
+	for i := range probes {
+		key := probes[i].Key
+		idx := (Hash(key) >> t.shift) & t.mask
+		t.traceChainWalk(idx)
+		for b := &t.buckets[idx]; b != nil; b = b.next {
+			for j := int32(0); j < b.n; j++ {
+				if b.tuples[j].Key == key {
+					matches++
+				}
+			}
+		}
+	}
+	return matches
+}
+
+// probeHashed walks the chain for one probe tuple, appending (stored,
+// probe) pairs to dst.
+func (t *Table) probeHashed(probe tuple.Tuple, h uint32, dst []tuple.Tuple) []tuple.Tuple {
+	key := probe.Key
+	idx := (h >> t.shift) & t.mask
+	b := &t.buckets[idx]
+	if t.tracer != nil {
+		t.tracer.Access(t.base + uint64(idx)*bucketBytes)
+		t.tracer.Op(4)
+	}
+	hop := uint64(0)
+	for b != nil {
+		for i := int32(0); i < b.n; i++ {
+			if b.tuples[i].Key == key {
+				dst = append(dst, b.tuples[i], probe)
+			}
+		}
+		if t.tracer != nil {
+			t.tracer.Op(uint64(b.n) + 1)
+		}
+		b = b.next
+		hop++
+		if b != nil && t.tracer != nil {
+			t.tracer.Access(t.base + uint64(idx)*bucketBytes + hop*(1<<20))
+		}
+	}
+	return dst
+}
+
+// traceChainWalk records the directory access of a count-only probe.
+func (t *Table) traceChainWalk(idx uint32) {
+	if t.tracer != nil {
+		t.tracer.Access(t.base + uint64(idx)*bucketBytes)
+		t.tracer.Op(4)
+	}
+}
+
+// InsertBatch inserts every tuple of xs under the per-bucket latches,
+// equivalent to calling Insert in a loop.
+//
+//iawj:hotpath
+func (t *Shared) InsertBatch(xs []tuple.Tuple) {
+	for i := range xs {
+		t.Insert(xs[i])
+	}
+}
+
+// ProbeBatch probes every tuple of probes latch-free (build and probe are
+// separated by a barrier in NPJ) and appends each match to dst as a
+// (stored, probe) pair. It returns the grown buffer and the match count.
+//
+//iawj:hotpath
+func (t *Shared) ProbeBatch(probes []tuple.Tuple, dst []tuple.Tuple) ([]tuple.Tuple, int) {
+	n0 := len(dst)
+	for pi := range probes {
+		key := probes[pi].Key
+		idx := Hash(key) & t.mask
+		hop := uint64(0)
+		for b := &t.buckets[idx].bucket; b != nil; b = b.next {
+			if t.tracer != nil {
+				t.tracer.Access(t.base + uint64(idx)*bucketBytes + hop*(1<<20))
+				t.tracer.Op(uint64(b.n) + 1)
+			}
+			for i := int32(0); i < b.n; i++ {
+				if b.tuples[i].Key == key {
+					dst = append(dst, b.tuples[i], probes[pi])
+				}
+			}
+			hop++
+		}
+	}
+	return dst, (len(dst) - n0) / 2
+}
+
+// InsertBatch inserts every tuple of xs with the CAS push of Insert.
+//
+//iawj:hotpath
+func (t *LockFree) InsertBatch(xs []tuple.Tuple) {
+	for i := range xs {
+		t.Insert(xs[i])
+	}
+}
+
+// ProbeBatch probes every tuple of probes over the quiesced chains and
+// appends each match to dst as a (stored, probe) pair.
+//
+//iawj:hotpath
+func (t *LockFree) ProbeBatch(probes []tuple.Tuple, dst []tuple.Tuple) ([]tuple.Tuple, int) {
+	n0 := len(dst)
+	for pi := range probes {
+		key := probes[pi].Key
+		idx := Hash(key) & t.mask
+		for n := t.heads[idx].Load(); n != nil; n = n.next {
+			if n.t.Key == key {
+				dst = append(dst, n.t, probes[pi])
+			}
+		}
+	}
+	return dst, (len(dst) - n0) / 2
+}

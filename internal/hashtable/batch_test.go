@@ -1,0 +1,364 @@
+package hashtable
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/tuple"
+)
+
+// diffKeys builds the key regimes the paper studies: uniform, skewed
+// (hot keys), high duplication, empty, and a single tuple.
+func diffKeySets() map[string][]tuple.Tuple {
+	rng := rand.New(rand.NewPCG(13, 17))
+	mk := func(n int, key func(i int) int32) []tuple.Tuple {
+		out := make([]tuple.Tuple, n)
+		for i := range out {
+			out[i] = tuple.Tuple{Key: key(i), Payload: int32(i)}
+		}
+		return out
+	}
+	return map[string][]tuple.Tuple{
+		"uniform": mk(3000, func(i int) int32 { return rng.Int32N(1 << 20) }),
+		"skewed": mk(3000, func(i int) int32 {
+			if rng.IntN(10) == 0 {
+				return rng.Int32N(1 << 20)
+			}
+			return rng.Int32N(4)
+		}),
+		"highdup": mk(3000, func(i int) int32 { return rng.Int32N(8) }),
+		"empty":   nil,
+		"single":  {tuple.Tuple{Key: 42, Payload: 7}},
+	}
+}
+
+// scalarPairs collects (stored, probe) pairs through the scalar closure
+// API — the reference the batch kernel must reproduce exactly.
+func scalarPairs(tab *Table, probes []tuple.Tuple) []tuple.Tuple {
+	var out []tuple.Tuple
+	for _, p := range probes {
+		pv := p
+		tab.Probe(p.Key, func(s tuple.Tuple) { out = append(out, s, pv) })
+	}
+	return out
+}
+
+func equalPairs(t *testing.T, name string, got, want []tuple.Tuple) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d pair tuples, want %d", name, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: pair tuple %d = %+v, want %+v", name, i, got[i], want[i])
+		}
+	}
+}
+
+// TestBatchMatchesScalar is the build+probe differential: a batch-built
+// table must produce the same (stored, probe) pairs, in the same order,
+// as a scalar-built table probed through the closure API.
+func TestBatchMatchesScalar(t *testing.T) {
+	sets := diffKeySets()
+	for buildName, build := range sets {
+		for probeName, probes := range sets {
+			name := buildName + "->" + probeName
+			scalarTab := New(len(build))
+			for _, x := range build {
+				scalarTab.Insert(x)
+			}
+			batchTab := New(len(build))
+			batchTab.InsertBatch(build)
+			if scalarTab.Size() != batchTab.Size() {
+				t.Fatalf("%s: batch table size %d, scalar %d", name, batchTab.Size(), scalarTab.Size())
+			}
+
+			want := scalarPairs(scalarTab, probes)
+			got, n := batchTab.ProbeBatch(probes, nil)
+			if n*2 != len(got) {
+				t.Fatalf("%s: match count %d does not cover %d pair tuples", name, n, len(got))
+			}
+			equalPairs(t, name, got, want)
+			if c := batchTab.ProbeBatchCount(probes); c != n {
+				t.Fatalf("%s: ProbeBatchCount = %d, ProbeBatch = %d", name, c, n)
+			}
+		}
+	}
+}
+
+// TestBatchHashedMatchesScalar drives the *Hashed fast path with
+// precomputed hashes and a nonzero shift, as the radix join does.
+func TestBatchHashedMatchesScalar(t *testing.T) {
+	sets := diffKeySets()
+	hashesOf := func(xs []tuple.Tuple) []uint32 {
+		hs := make([]uint32, len(xs))
+		for i := range xs {
+			hs[i] = Hash(xs[i].Key)
+		}
+		return hs
+	}
+	for _, shift := range []int{0, 6, 10} {
+		build, probes := sets["highdup"], sets["skewed"]
+		ref := New(len(build))
+		ref.SetShift(shift)
+		for _, x := range build {
+			ref.Insert(x)
+		}
+		tab := New(len(build))
+		tab.SetShift(shift)
+		tab.InsertBatchHashed(build, hashesOf(build))
+		want := scalarPairs(ref, probes)
+		got, _ := tab.ProbeBatchHashed(probes, hashesOf(probes), nil)
+		equalPairs(t, "hashed", got, want)
+	}
+}
+
+// TestSharedAndLockFreeBatchCounts checks the concurrent tables' batch
+// kernels against the scalar Table reference by match count and pair
+// multiset size (chain order differs by design across implementations).
+func TestSharedAndLockFreeBatchCounts(t *testing.T) {
+	sets := diffKeySets()
+	build, probes := sets["skewed"], sets["highdup"]
+	ref := New(len(build))
+	ref.InsertBatch(build)
+	_, want := ref.ProbeBatch(probes, nil)
+
+	sh := NewShared(len(build))
+	sh.InsertBatch(build)
+	pairs, n := sh.ProbeBatch(probes, nil)
+	if n != want || len(pairs) != 2*want {
+		t.Fatalf("Shared batch found %d matches, want %d", n, want)
+	}
+	lf := NewLockFree(len(build))
+	lf.InsertBatch(build)
+	pairs, n = lf.ProbeBatch(probes, nil)
+	if n != want || len(pairs) != 2*want {
+		t.Fatalf("LockFree batch found %d matches, want %d", n, want)
+	}
+}
+
+// TestResetReuse proves the Reset protocol: a reused table must behave
+// exactly like a fresh one, and steady-state reuse must not grow memory.
+func TestResetReuse(t *testing.T) {
+	sets := diffKeySets()
+	tab := New(3000)
+	var memAfterFirst int64
+	for round, name := range []string{"highdup", "uniform", "highdup", "skewed"} {
+		build := sets[name]
+		tab.Reset()
+		tab.InsertBatch(build)
+		fresh := New(3000)
+		fresh.InsertBatch(build)
+		got, _ := tab.ProbeBatch(build, nil)
+		want, _ := fresh.ProbeBatch(build, nil)
+		equalPairs(t, "reset/"+name, got, want)
+		if round == 0 {
+			memAfterFirst = tab.MemBytes()
+		}
+	}
+	tab.Reset()
+	tab.InsertBatch(sets["highdup"])
+	if tab.MemBytes() > memAfterFirst+int64(bucketBytes) {
+		t.Fatalf("reused table grew from %d to %d bytes on identical input", memAfterFirst, tab.MemBytes())
+	}
+}
+
+// TestGrowKeepsFreeList checks Grow preserves recycled overflow buckets
+// while resizing the directory.
+func TestGrowKeepsFreeList(t *testing.T) {
+	tab := New(8)
+	for i := 0; i < 256; i++ {
+		tab.Insert(tuple.Tuple{Key: 5, Payload: int32(i)}) // one long chain
+	}
+	tab.Reset()
+	before := tab.MemBytes()
+	tab.Grow(1024)
+	if tab.DirBuckets() < 512 {
+		t.Fatalf("Grow(1024) left directory at %d buckets", tab.DirBuckets())
+	}
+	if tab.MemBytes() <= before {
+		t.Fatal("Grow must keep the overflow free list while growing the directory")
+	}
+	fill := make([]tuple.Tuple, 64)
+	for i := range fill {
+		fill[i] = tuple.Tuple{Key: int32(100 + i), Payload: int32(i)}
+	}
+	tab.InsertBatch(fill)
+	if got := tab.Probe(5, nil); got != 0 {
+		t.Fatalf("grown table leaked %d stale key-5 tuples", got)
+	}
+	if got := tab.Probe(100, nil); got != 1 {
+		t.Fatalf("grown table found %d matches for a fresh key, want 1", got)
+	}
+}
+
+// TestZeroAllocSteadyState is the kernel-level allocation contract: once
+// a pooled table has sized its chains and the pair buffer has grown, a
+// window's build+probe cycle allocates nothing.
+func TestZeroAllocSteadyState(t *testing.T) {
+	build := diffKeySets()["highdup"]
+	tab := New(len(build))
+	pairs := make([]tuple.Tuple, 0, 4*len(build))
+	// Warmup sizes chains and the pair buffer.
+	tab.InsertBatch(build)
+	pairs, _ = tab.ProbeBatch(build[:64], pairs[:0])
+	allocs := testing.AllocsPerRun(20, func() {
+		tab.Reset()
+		tab.InsertBatch(build)
+		pairs, _ = tab.ProbeBatch(build[:64], pairs[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state build+probe allocates %.1f times per window, want 0", allocs)
+	}
+}
+
+// FuzzBatchDiff drives batch build+probe against the scalar reference
+// with arbitrary key bytes.
+func FuzzBatchDiff(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 1, 2, 3, 4}, []byte{1, 2, 3, 4})
+	f.Add([]byte{}, []byte{9, 9, 9, 9})
+	f.Fuzz(func(t *testing.T, rawBuild, rawProbe []byte) {
+		decode := func(raw []byte) []tuple.Tuple {
+			out := make([]tuple.Tuple, 0, len(raw)/4)
+			for r := bytes.NewReader(raw); ; {
+				var k int32
+				if err := binary.Read(r, binary.LittleEndian, &k); err != nil {
+					break
+				}
+				out = append(out, tuple.Tuple{Key: k, Payload: int32(len(out))})
+			}
+			return out
+		}
+		build, probes := decode(rawBuild), decode(rawProbe)
+		ref := New(len(build))
+		for _, x := range build {
+			ref.Insert(x)
+		}
+		tab := New(len(build))
+		tab.InsertBatch(build)
+		want := scalarPairs(ref, probes)
+		got, n := tab.ProbeBatch(probes, nil)
+		if len(got) != len(want) || n*2 != len(got) {
+			t.Fatalf("batch found %d pair tuples, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("pair tuple %d differs", i)
+			}
+		}
+	})
+}
+
+// BenchmarkKernelBuild contrasts the pre-kernel window build (fresh table
+// per window, scalar Insert per tuple) with the kernel path (pooled table
+// Reset, one InsertBatch). scripts/bench.sh compares them into
+// BENCH_3.json.
+func BenchmarkKernelBuild(b *testing.B) {
+	tuples := benchTuples(100_000, 1000)
+	b.Run("scalar", func(b *testing.B) {
+		b.SetBytes(int64(len(tuples)) * 16)
+		for i := 0; i < b.N; i++ {
+			tab := New(len(tuples))
+			for _, x := range tuples {
+				tab.Insert(x)
+			}
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		tab := New(len(tuples))
+		tab.InsertBatch(tuples) // warmup sizes the chains
+		b.SetBytes(int64(len(tuples)) * 16)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tab.Reset()
+			tab.InsertBatch(tuples)
+		}
+	})
+}
+
+// benchSink models the per-match work a real result sink does (count
+// plus occasional latency sampling, as core.Sink.Match): a non-inlined
+// method call, so neither variant gets its emission optimized away.
+type benchSink struct {
+	n   int64
+	lat int64
+}
+
+//go:noinline
+func (s *benchSink) match(r, p tuple.Tuple) {
+	s.n++
+	if s.n&1023 == 0 {
+		s.lat += int64(r.TS - p.TS)
+	}
+}
+
+// BenchmarkKernelProbe contrasts the pre-kernel probe loop (an emit
+// closure constructed per probe, as NPJ/SHJ did) with ProbeBatch into a
+// reused pair buffer, both feeding every match to the same sink.
+func BenchmarkKernelProbe(b *testing.B) {
+	tuples := benchTuples(100_000, 10_000)
+	tab := New(len(tuples))
+	tab.InsertBatch(tuples)
+	probes := tuples[:10_000]
+	var sink benchSink
+	b.Run("scalar", func(b *testing.B) {
+		b.SetBytes(int64(len(probes)) * 16)
+		for i := 0; i < b.N; i++ {
+			for _, p := range probes {
+				pv := p
+				tab.Probe(p.Key, func(s tuple.Tuple) { sink.match(s, pv) })
+			}
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		pairs := make([]tuple.Tuple, 0, 4096)
+		b.SetBytes(int64(len(probes)) * 16)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for lo := 0; lo < len(probes); lo += 1024 {
+				hi := lo + 1024
+				if hi > len(probes) {
+					hi = len(probes)
+				}
+				pairs, _ = tab.ProbeBatch(probes[lo:hi], pairs[:0])
+				for j := 0; j+1 < len(pairs); j += 2 {
+					sink.match(pairs[j], pairs[j+1])
+				}
+			}
+		}
+	})
+	_ = sink
+}
+
+// BenchmarkKernelProbeCount measures the match-counting probe — the
+// harness default (Emit == nil), and the paper's measurement mode:
+// joins are timed by throughput, matches counted but not materialized.
+// scalar is the pre-kernel shape (a counting closure per probe);
+// batched is ProbeBatchCount, which walks chains with no per-match
+// indirect call at all.
+func BenchmarkKernelProbeCount(b *testing.B) {
+	tuples := benchTuples(100_000, 10_000)
+	tab := New(len(tuples))
+	tab.InsertBatch(tuples)
+	probes := tuples[:10_000]
+	var total int
+	b.Run("scalar", func(b *testing.B) {
+		b.SetBytes(int64(len(probes)) * 16)
+		for i := 0; i < b.N; i++ {
+			n := 0
+			for _, p := range probes {
+				n += tab.Probe(p.Key, func(tuple.Tuple) {})
+			}
+			total = n
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		b.SetBytes(int64(len(probes)) * 16)
+		for i := 0; i < b.N; i++ {
+			total = tab.ProbeBatchCount(probes)
+		}
+	})
+	_ = total
+}

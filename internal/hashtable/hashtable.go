@@ -51,8 +51,10 @@ func Hash(key int32) uint32 {
 type Table struct {
 	buckets []bucket
 	mask    uint32
-	size    int64 // tuples stored
-	extra   int64 // overflow buckets allocated
+	shift   uint32 // hash bits consumed upstream (radix partitioning)
+	size    int64  // tuples stored
+	extra   int64  // overflow buckets owned (chained or free-listed)
+	free    *bucket
 
 	tracer cachesim.Tracer
 	base   uint64 // logical base address for tracing
@@ -65,6 +67,65 @@ func New(n int) *Table {
 	nb := nextPow2(n/2 + 1)
 	return &Table{buckets: make([]bucket, nb), mask: uint32(nb - 1)}
 }
+
+// SetShift discards the low shift bits of the hash for bucket placement.
+// A per-partition table of a radix join must set shift to the radix bit
+// count: every key in partition p shares the low #r hash bits, so indexing
+// on them would collapse the whole partition into a handful of chains.
+func (t *Table) SetShift(shift int) {
+	if shift < 0 {
+		shift = 0
+	}
+	t.shift = uint32(shift)
+}
+
+// Grow ensures the bucket directory is sized for a capacity hint of n
+// tuples, reallocating it (and discarding stored tuples) when too small.
+// The overflow free list survives, so a pooled table keeps its recycled
+// buckets across windows of growing size.
+func (t *Table) Grow(n int) {
+	nb := nextPow2(n/2 + 1)
+	if nb <= len(t.buckets) {
+		return
+	}
+	t.buckets = make([]bucket, nb)
+	t.mask = uint32(nb - 1)
+	t.size = 0
+}
+
+// Reset clears the table for reuse: every overflow bucket moves to the
+// free list, the directory restarts empty, and the directory allocation is
+// kept. A steady-state window over a pooled table therefore inserts with
+// zero allocations once the first window has sized the chains.
+func (t *Table) Reset() {
+	for i := range t.buckets {
+		b := &t.buckets[i]
+		for ov := b.next; ov != nil; {
+			nxt := ov.next
+			ov.next = t.free
+			t.free = ov
+			ov = nxt
+		}
+		b.n = 0
+		b.next = nil
+	}
+	t.size = 0
+	t.tracer = nil
+	t.base = 0
+}
+
+// newBucket pops a recycled overflow bucket or allocates a fresh one.
+func (t *Table) newBucket() *bucket {
+	if nb := t.free; nb != nil {
+		t.free = nb.next
+		return nb
+	}
+	t.extra++
+	return &bucket{}
+}
+
+// DirBuckets reports the directory size, the pool's size-class key.
+func (t *Table) DirBuckets() int { return len(t.buckets) }
 
 // SetTracer attaches a cache-simulation tracer; base distinguishes this
 // table's address space from other structures in the same profile run.
@@ -81,18 +142,17 @@ func (t *Table) SetTracer(tr cachesim.Tracer, base uint64) {
 //
 //iawj:hotpath
 func (t *Table) Insert(x tuple.Tuple) {
-	idx := Hash(x.Key) & t.mask
+	idx := (Hash(x.Key) >> t.shift) & t.mask
 	b := &t.buckets[idx]
 	if t.tracer != nil {
 		t.tracer.Access(t.base + uint64(idx)*bucketBytes)
 		t.tracer.Op(4)
 	}
 	if b.n == bucketCap {
-		nb := &bucket{}
+		nb := t.newBucket()
 		*nb = *b
 		b.next = nb
 		b.n = 0
-		t.extra++
 		if t.tracer != nil {
 			t.tracer.Access(t.base + uint64(idx)*bucketBytes + uint64(t.extra)*(1<<20))
 			t.tracer.Op(4)
@@ -108,7 +168,7 @@ func (t *Table) Insert(x tuple.Tuple) {
 //
 //iawj:hotpath
 func (t *Table) Probe(key int32, emit func(tuple.Tuple)) int {
-	idx := Hash(key) & t.mask
+	idx := (Hash(key) >> t.shift) & t.mask
 	b := &t.buckets[idx]
 	if t.tracer != nil {
 		t.tracer.Access(t.base + uint64(idx)*bucketBytes)
@@ -155,11 +215,69 @@ type Shared struct {
 	size    atomic.Int64
 	extra   atomic.Int64
 
+	// freeMu guards the overflow free list: overflow events under
+	// different bucket latches may race on it. Overflows are rare (once
+	// per bucketCap inserts per chain), so the extra lock is off the
+	// common path.
+	freeMu sync.Mutex
+	free   *bucket
+
 	// tracer feeds profile runs; those run single-threaded, so the
 	// tracer itself needs no synchronization.
 	tracer cachesim.Tracer
 	base   uint64
 }
+
+// Grow ensures the directory is sized for n tuples, reallocating (and
+// discarding contents) when too small. Not safe for concurrent use; call
+// between windows.
+func (t *Shared) Grow(n int) {
+	nb := nextPow2(n/2 + 1)
+	if nb <= len(t.buckets) {
+		return
+	}
+	t.buckets = make([]sharedBucket, nb)
+	t.mask = uint32(nb - 1)
+	t.size.Store(0)
+}
+
+// Reset clears the table for reuse, recycling overflow buckets onto the
+// free list. Not safe for concurrent use; call between windows once all
+// workers have quiesced.
+func (t *Shared) Reset() {
+	for i := range t.buckets {
+		b := &t.buckets[i].bucket
+		for ov := b.next; ov != nil; {
+			nxt := ov.next
+			ov.next = t.free
+			t.free = ov
+			ov = nxt
+		}
+		b.n = 0
+		b.next = nil
+	}
+	t.size.Store(0)
+	t.tracer = nil
+	t.base = 0
+}
+
+// newBucket pops a recycled overflow bucket or allocates a fresh one.
+func (t *Shared) newBucket() *bucket {
+	t.freeMu.Lock()
+	nb := t.free
+	if nb != nil {
+		t.free = nb.next
+	}
+	t.freeMu.Unlock()
+	if nb != nil {
+		return nb
+	}
+	t.extra.Add(1)
+	return &bucket{}
+}
+
+// DirBuckets reports the directory size, the pool's size-class key.
+func (t *Shared) DirBuckets() int { return len(t.buckets) }
 
 // SetTracer attaches a cache-simulation tracer. Only set it for
 // single-threaded profile runs: the tracer is called under the bucket
@@ -194,11 +312,10 @@ func (t *Shared) Insert(x tuple.Tuple) {
 		t.tracer.Op(6) // hash + latch + store
 	}
 	if b.n == bucketCap {
-		nb := &bucket{}
+		nb := t.newBucket()
 		*nb = *b
 		b.next = nb
 		b.n = 0
-		t.extra.Add(1)
 		if t.tracer != nil {
 			t.tracer.Access(t.base + uint64(idx)*bucketBytes + uint64(t.extra.Load())*(1<<20))
 			t.tracer.Op(4)

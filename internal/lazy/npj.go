@@ -16,6 +16,13 @@ import (
 // the paper measures under high key duplication, and its footprint beyond
 // L3 drives NPJ's memory-bound profile (Section 5.6).
 //
+// Build and probe run through the batched kernel APIs (InsertBatch /
+// ProbeBatch): one call per worker chunk instead of one per tuple, and no
+// per-probe emit closure. With a window-state pool attached
+// (core.RunConfig.Pool) the shared table and the per-worker match buffers
+// are recycled across windows, so steady-state windows build and probe
+// with zero allocations (PERFORMANCE.md).
+//
 // LockFree switches the build phase to a CAS-based chain table — an
 // ablation of the shared-table synchronization design choice.
 type NPJ struct {
@@ -24,8 +31,8 @@ type NPJ struct {
 
 // sharedTable abstracts over the latched and lock-free build tables.
 type sharedTable interface {
-	Insert(tuple.Tuple)
-	Probe(key int32, emit func(tuple.Tuple)) int
+	InsertBatch([]tuple.Tuple)
+	ProbeBatch(probes, dst []tuple.Tuple) ([]tuple.Tuple, int)
 	MemBytes() int64
 }
 
@@ -49,10 +56,11 @@ func (NPJ) Method() core.JoinMethod { return core.HashJoin }
 //iawj:hotpath
 func (a NPJ) Run(ctx *core.ExecContext) error {
 	var table sharedTable
+	var latched *hashtable.Shared
 	if a.LockFree {
 		table = hashtable.NewLockFree(len(ctx.R))
 	} else {
-		latched := hashtable.NewShared(len(ctx.R))
+		latched = ctx.Pool.Shared(len(ctx.R))
 		if ctx.Tracer != nil {
 			latched.SetTracer(ctx.Tracer, 1<<42)
 		}
@@ -70,9 +78,7 @@ func (a NPJ) Run(ctx *core.ExecContext) error {
 		ctx.Begin(tid, metrics.PhaseBuildSort)
 		lo, hi := core.Chunk(len(ctx.R), ctx.Threads, tid)
 		tw.AddTuples(int64(hi - lo))
-		for _, t := range ctx.R[lo:hi] {
-			table.Insert(t)
-		}
+		table.InsertBatch(ctx.R[lo:hi])
 		ctx.Begin(tid, metrics.PhaseOther)
 		barrier.Done()
 		barrier.Wait() // build/probe barrier as in the original NPJ
@@ -81,16 +87,24 @@ func (a NPJ) Run(ctx *core.ExecContext) error {
 		k := core.NewSink(ctx, tid)
 		lo, hi = core.Chunk(len(ctx.S), ctx.Threads, tid)
 		tw.AddTuples(int64(hi - lo))
-		for i, s := range ctx.S[lo:hi] {
-			if i&(matchBatch-1) == 0 {
-				k.Refresh()
+		chunk := ctx.S[lo:hi]
+		pairs := ctx.Pool.Tuples(2 * matchBatch)
+		for start := 0; start < len(chunk); start += matchBatch {
+			end := start + matchBatch
+			if end > len(chunk) {
+				end = len(chunk)
 			}
-			sv := s
-			table.Probe(s.Key, func(r tuple.Tuple) { k.Match(r, sv) })
+			k.Refresh()
+			pairs, _ = table.ProbeBatch(chunk[start:end], pairs[:0])
+			for i := 0; i+1 < len(pairs); i += 2 {
+				k.Match(pairs[i], pairs[i+1])
+			}
 		}
+		ctx.Pool.PutTuples(pairs)
 		ctx.EndPhase(tid)
 	})
 	ctx.M.MemAdd(table.MemBytes() - baseMem) // overflow chains grown at build
 	ctx.M.MemSampleNow(ctx.NowMs())
+	ctx.Pool.PutShared(latched) // nil-safe: no-op for the lock-free ablation
 	return nil
 }

@@ -5,7 +5,6 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
-	"repro/internal/hashtable"
 	"repro/internal/metrics"
 	"repro/internal/radix"
 	"repro/internal/tuple"
@@ -18,6 +17,15 @@ import (
 // (Figure 18): more bits cost more partitioning but make probing cheaper.
 // Under high key skew only a few partitions carry the bulk of the data, so
 // few threads stay busy — the sensitivity Figure 13 shows.
+//
+// The partition phase runs the hash-once SWWCB kernel
+// (radix.Partitioner): each key is hashed exactly once and the hash rides
+// along with the tuple, so the per-partition build and probe
+// (InsertBatchHashed / ProbeBatchHashed with SetShift) never rehash. The
+// per-partition tables index on the hash bits *above* the radix — every
+// key in a partition shares the low #r hash bits, so indexing on them
+// would collapse the partition into a handful of chains. All kernel state
+// comes from the window pool when one is attached.
 type PRJ struct{}
 
 // Name implements core.Algorithm.
@@ -37,9 +45,14 @@ func (PRJ) Run(ctx *core.ExecContext) error {
 	bits := ctx.Knobs.RadixBits
 	fanout := radix.Fanout(bits)
 
-	// Per-thread partition pieces, combined per partition at join time.
+	// Per-thread partition pieces (tuples and their hashes), combined
+	// per partition at join time. The pieces alias the per-thread
+	// partitioners' buffers, released only after all workers finish.
 	partsR := make([][]tuple.Relation, ctx.Threads)
 	partsS := make([][]tuple.Relation, ctx.Threads)
+	hashR := make([][][]uint32, ctx.Threads)
+	hashS := make([][][]uint32, ctx.Threads)
+	parters := make([]*radix.Partitioner, 2*ctx.Threads)
 
 	var next atomic.Int64 // dynamic partition queue for the join phase
 	var barrier sync.WaitGroup
@@ -49,14 +62,18 @@ func (PRJ) Run(ctx *core.ExecContext) error {
 		tw := ctx.TraceWorker(tid)
 		ctx.WaitWindow(tid)
 
-		// Phase 1: physically partition this thread's chunks.
+		// Phase 1: physically partition this thread's chunks with the
+		// SWWCB kernel, hashing each key once.
 		ctx.Begin(tid, metrics.PhasePartition)
+		pr := ctx.Pool.Partitioner()
+		ps := ctx.Pool.Partitioner()
+		parters[2*tid], parters[2*tid+1] = pr, ps
 		lo, hi := core.Chunk(len(ctx.R), ctx.Threads, tid)
 		tw.AddTuples(int64(hi - lo))
-		partsR[tid] = radix.PartitionMultiPass(ctx.R[lo:hi], bits, ctx.Tracer, 0)
+		partsR[tid], hashR[tid] = pr.PartitionHashed(ctx.R[lo:hi], bits, ctx.Tracer, 0)
 		lo, hi = core.Chunk(len(ctx.S), ctx.Threads, tid)
 		tw.AddTuples(int64(hi - lo))
-		partsS[tid] = radix.PartitionMultiPass(ctx.S[lo:hi], bits, ctx.Tracer, 1<<34)
+		partsS[tid], hashS[tid] = ps.PartitionHashed(ctx.S[lo:hi], bits, ctx.Tracer, 1<<34)
 		ctx.M.MemAdd(int64(hi-lo) * 16 * 2) // physical copies of both inputs
 		ctx.Begin(tid, metrics.PhaseOther)
 		barrier.Done()
@@ -65,6 +82,7 @@ func (PRJ) Run(ctx *core.ExecContext) error {
 		// Phase 2: cache-resident hash join per partition, partitions
 		// handed out dynamically.
 		k := core.NewSink(ctx, tid)
+		pairs := ctx.Pool.Tuples(2 * matchBatch)
 		for {
 			p := int(next.Add(1)) - 1
 			if p >= fanout {
@@ -79,33 +97,44 @@ func (PRJ) Run(ctx *core.ExecContext) error {
 				continue
 			}
 			tw.AddTuples(int64(nR))
-			table := hashtable.New(nR)
+			table := ctx.Pool.Table(nR, bits)
 			if ctx.Tracer != nil {
 				table.SetTracer(ctx.Tracer, uint64(p)<<22|1<<40)
 			}
 			for t := 0; t < ctx.Threads; t++ {
-				for _, r := range partsR[t][p] {
-					table.Insert(r)
-				}
+				table.InsertBatchHashed(partsR[t][p], hashR[t][p])
 			}
 			ctx.M.MemAdd(table.MemBytes())
 
 			ctx.Begin(tid, metrics.PhaseProbe)
 			k.Refresh()
 			for t := 0; t < ctx.Threads; t++ {
-				tw.AddTuples(int64(len(partsS[t][p])))
-				for i, s := range partsS[t][p] {
-					if i&(matchBatch-1) == 0 {
-						k.Refresh()
+				probes := partsS[t][p]
+				hashes := hashS[t][p]
+				tw.AddTuples(int64(len(probes)))
+				for start := 0; start < len(probes); start += matchBatch {
+					end := start + matchBatch
+					if end > len(probes) {
+						end = len(probes)
 					}
-					sv := s
-					table.Probe(s.Key, func(r tuple.Tuple) { k.Match(r, sv) })
+					k.Refresh()
+					pairs, _ = table.ProbeBatchHashed(probes[start:end], hashes[start:end], pairs[:0])
+					for i := 0; i+1 < len(pairs); i += 2 {
+						k.Match(pairs[i], pairs[i+1])
+					}
 				}
 			}
 			ctx.M.MemAdd(-table.MemBytes()) // partition table released
+			ctx.Pool.PutTable(table)
 		}
+		ctx.Pool.PutTuples(pairs)
 		ctx.EndPhase(tid)
 	})
+	// The partition slices alias the partitioners' buffers; every worker
+	// is done with them now.
+	for _, pr := range parters {
+		ctx.Pool.PutPartitioner(pr)
+	}
 	ctx.M.MemSampleNow(ctx.NowMs())
 	return nil
 }

@@ -50,7 +50,9 @@ func (MPass) Run(ctx *core.ExecContext) error { return runSortJoin(ctx, false) }
 // runSortJoin is the shared sort-join skeleton: partition (physical chunk
 // copies), sort (per-thread, SIMD-substitute optional), merge (multi-way
 // for MWay, successive two-way passes for MPass, parallel across key
-// ranges), and a final parallel merge join.
+// ranges), and a final parallel merge join. The physical chunk copies —
+// the sort joins' dominant per-window allocation — come from the window
+// pool when one is attached and are recycled once all workers finish.
 func runSortJoin(ctx *core.ExecContext, multiway bool) error {
 	tcount := ctx.Threads
 	runsR := make([]tuple.Relation, tcount)
@@ -72,9 +74,11 @@ func runSortJoin(ctx *core.ExecContext, multiway bool) error {
 		// step of MWay/MPass).
 		ctx.Begin(tid, metrics.PhasePartition)
 		lo, hi := core.Chunk(len(ctx.R), tcount, tid)
-		runsR[tid] = ctx.R[lo:hi].Clone()
+		runsR[tid] = ctx.Pool.Tuples(hi - lo)[:hi-lo]
+		copy(runsR[tid], ctx.R[lo:hi])
 		lo, hi = core.Chunk(len(ctx.S), tcount, tid)
-		runsS[tid] = ctx.S[lo:hi].Clone()
+		runsS[tid] = ctx.Pool.Tuples(hi - lo)[:hi-lo]
+		copy(runsS[tid], ctx.S[lo:hi])
 		tw.AddTuples(int64(len(runsR[tid]) + len(runsS[tid])))
 		ctx.M.MemAdd(int64(len(runsR[tid])+len(runsS[tid])) * 16)
 
@@ -111,6 +115,12 @@ func runSortJoin(ctx *core.ExecContext, multiway bool) error {
 		}, ctx.Tracer, uint64(tid)<<33, uint64(tid)<<33|1<<32)
 		ctx.EndPhase(tid)
 	})
+	// Merged ranges may alias the runs, so the run buffers are recycled
+	// only after every worker has finished matching.
+	for tid := 0; tid < tcount; tid++ {
+		ctx.Pool.PutTuples(runsR[tid])
+		ctx.Pool.PutTuples(runsS[tid])
+	}
 	ctx.M.MemSampleNow(ctx.NowMs())
 	return nil
 }

@@ -17,10 +17,19 @@ import (
 //   - append whose target is not declared inside the annotated function
 //     (growing a captured or package-level slice from the inner loop);
 //   - fmt.Sprintf / Sprint / Sprintln / Errorf (formatting allocates);
-//   - map creation (make(map...) or a map composite literal).
+//   - map creation (make(map...) or a map composite literal);
+//   - a func literal constructed inside a loop (a per-iteration closure —
+//     the per-match emit closures the batched kernel APIs exist to
+//     eliminate; hoist the closure before the loop or use
+//     InsertBatch/ProbeBatch);
+//   - make of a slice inside a loop (per-iteration scratch; allocate the
+//     scratch once before the loop or take it from the window pool).
 //
 // Appends to locally declared buffers are the kernels' bread and butter
-// and are not flagged.
+// and are not flagged, nor are closures and slice makes that run once,
+// outside any loop. The slice check is syntactic: make of a named slice
+// type spelled through a selector (e.g. make(pkg.Alias, n)) is not
+// recognized.
 type HotPathAlloc struct{}
 
 // Name implements Analyzer.
@@ -28,7 +37,7 @@ func (HotPathAlloc) Name() string { return "hotpathalloc" }
 
 // Doc implements Analyzer.
 func (HotPathAlloc) Doc() string {
-	return "no captured-slice append, fmt.Sprintf, or map creation in //iawj:hotpath functions"
+	return "no captured-slice append, fmt.Sprintf, map creation, or per-loop closure/scratch allocation in //iawj:hotpath functions"
 }
 
 // Severity implements Analyzer.
@@ -84,6 +93,7 @@ func (HotPathAlloc) checkHotFunc(p *Package, fn *ast.FuncDecl, imports map[strin
 			Msg:  msg,
 		})
 	}
+	inLoop := loopRanges(fn.Body)
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
@@ -102,9 +112,15 @@ func (HotPathAlloc) checkHotFunc(p *Package, fn *ast.FuncDecl, imports map[strin
 					if len(n.Args) > 0 {
 						if _, isMap := n.Args[0].(*ast.MapType); isMap {
 							flag(n.Pos(), "map creation in a //iawj:hotpath function")
+						} else if arr, isSlice := n.Args[0].(*ast.ArrayType); isSlice && arr.Len == nil && inLoop(n.Pos()) {
+							flag(n.Pos(), "slice make inside a loop in a //iawj:hotpath function; hoist the scratch or use the window pool")
 						}
 					}
 				}
+			}
+		case *ast.FuncLit:
+			if inLoop(n.Pos()) {
+				flag(n.Pos(), "closure constructed inside a loop in a //iawj:hotpath function; hoist it or use the batched kernel APIs")
 			}
 		case *ast.CompositeLit:
 			if _, isMap := n.Type.(*ast.MapType); isMap {
@@ -114,6 +130,35 @@ func (HotPathAlloc) checkHotFunc(p *Package, fn *ast.FuncDecl, imports map[strin
 		return true
 	})
 	return out
+}
+
+// loopRanges collects the body spans of every for/range statement under
+// root (including those inside nested closures — the whole annotated
+// function is the hot path) and returns a position predicate for them.
+func loopRanges(root ast.Node) func(token.Pos) bool {
+	type span struct{ lo, hi token.Pos }
+	var spans []span
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch l := n.(type) {
+		case *ast.ForStmt:
+			if l.Body != nil {
+				spans = append(spans, span{l.Body.Pos(), l.Body.End()})
+			}
+		case *ast.RangeStmt:
+			if l.Body != nil {
+				spans = append(spans, span{l.Body.Pos(), l.Body.End()})
+			}
+		}
+		return true
+	})
+	return func(pos token.Pos) bool {
+		for _, s := range spans {
+			if pos >= s.lo && pos < s.hi {
+				return true
+			}
+		}
+		return false
+	}
 }
 
 // capturedTarget reports whether the append target's root identifier is

@@ -24,12 +24,28 @@ func hotProbeLoop(keys []int) int {
 //iawj:hotpath
 func hotWithClosure(keys []int, emit func(int)) {
 	for _, k := range keys {
-		probe := func(x int) {
+		probe := func(x int) { // want hotpathalloc
 			_ = fmt.Sprint(x) // want hotpathalloc
 			emit(x)
 		}
 		probe(k)
 	}
+}
+
+//iawj:hotpath
+func hotBatchedLoop(keys []int, emit func(int)) {
+	scratch := make([]int, 0, len(keys)) // ok: hoisted before the loop
+	flush := func(xs []int) {            // ok: constructed once
+		for _, x := range xs {
+			emit(x)
+		}
+	}
+	for _, k := range keys {
+		perIter := make([]int, 0, 8) // want hotpathalloc
+		perIter = append(perIter, k)
+		scratch = append(scratch, perIter...)
+	}
+	flush(scratch)
 }
 
 func coldPath(keys []int) string {

@@ -1,0 +1,225 @@
+// Package pool recycles per-window join state across windows.
+//
+// Every window of a streaming join needs the same transient structures:
+// hash-table directories and overflow buckets, partitioner scratch, the
+// physical partition copies of the sort joins, and match-pair buffers.
+// Allocating them fresh per window makes a memory-bound kernel GC-bound —
+// the overhead partition-based stream joins like PanJoin explicitly
+// engineer away. Pool keeps freelists of all of them behind a Reset
+// protocol: acquire at window start, release at window end, and the next
+// window of similar shape runs at zero steady-state allocations
+// (enforced by the testing.AllocsPerRun tests in this package).
+//
+// All methods are safe for concurrent use — workers of one window and
+// concurrent windows may share one Pool — and all methods accept a nil
+// receiver, falling back to plain allocation, so algorithm code calls the
+// pool unconditionally and a run without a pool behaves exactly as before.
+//
+// Tables are free-listed per directory size class: handing a 2^16-bucket
+// NPJ directory to a radix join that asked for 2^6 buckets would make its
+// per-partition Reset walk five orders of magnitude too much memory.
+package pool
+
+import (
+	"sync"
+
+	"repro/internal/hashtable"
+	"repro/internal/radix"
+	"repro/internal/tuple"
+)
+
+// classes is the number of power-of-two directory size classes tracked.
+const classes = 32
+
+// Pool is a reusable-state arena for window joins. The zero value and nil
+// are both ready to use; nil never pools.
+type Pool struct {
+	mu      sync.Mutex
+	tables  [classes][]*hashtable.Table
+	shared  [classes][]*hashtable.Shared
+	parters []*radix.Partitioner
+	tuples  [][]tuple.Tuple
+	u32s    [][]uint32
+}
+
+// New returns an empty Pool.
+func New() *Pool { return &Pool{} }
+
+// sizeClass maps a directory bucket count (a power of two) to its class.
+func sizeClass(nb int) int {
+	c := 0
+	for nb > 1 && c < classes-1 {
+		nb >>= 1
+		c++
+	}
+	return c
+}
+
+// dirFor mirrors hashtable's directory sizing for a tuple capacity hint.
+func dirFor(n int) int {
+	nb := 1
+	for nb < n/2+1 {
+		nb <<= 1
+	}
+	return nb
+}
+
+// Table returns a single-writer table sized for n tuples with the given
+// hash shift, recycled when one of the right size class is free.
+func (p *Pool) Table(n, shift int) *hashtable.Table {
+	if p == nil {
+		t := hashtable.New(n)
+		t.SetShift(shift)
+		return t
+	}
+	c := sizeClass(dirFor(n))
+	p.mu.Lock()
+	var t *hashtable.Table
+	if l := len(p.tables[c]); l > 0 {
+		t = p.tables[c][l-1]
+		p.tables[c] = p.tables[c][:l-1]
+	}
+	p.mu.Unlock()
+	if t == nil {
+		t = hashtable.New(n)
+	} else {
+		t.Grow(n)
+	}
+	t.SetShift(shift)
+	return t
+}
+
+// PutTable resets t and returns it to its size-class freelist.
+func (p *Pool) PutTable(t *hashtable.Table) {
+	if p == nil || t == nil {
+		return
+	}
+	t.Reset()
+	c := sizeClass(t.DirBuckets())
+	p.mu.Lock()
+	p.tables[c] = append(p.tables[c], t)
+	p.mu.Unlock()
+}
+
+// Shared returns a concurrently writable table sized for n tuples.
+func (p *Pool) Shared(n int) *hashtable.Shared {
+	if p == nil {
+		return hashtable.NewShared(n)
+	}
+	c := sizeClass(dirFor(n))
+	p.mu.Lock()
+	var t *hashtable.Shared
+	if l := len(p.shared[c]); l > 0 {
+		t = p.shared[c][l-1]
+		p.shared[c] = p.shared[c][:l-1]
+	}
+	p.mu.Unlock()
+	if t == nil {
+		t = hashtable.NewShared(n)
+	} else {
+		t.Grow(n)
+	}
+	return t
+}
+
+// PutShared resets t and returns it to its size-class freelist. Call only
+// after every worker of the window has quiesced.
+func (p *Pool) PutShared(t *hashtable.Shared) {
+	if p == nil || t == nil {
+		return
+	}
+	t.Reset()
+	c := sizeClass(t.DirBuckets())
+	p.mu.Lock()
+	p.shared[c] = append(p.shared[c], t)
+	p.mu.Unlock()
+}
+
+// Partitioner returns a reusable SWWCB partitioning kernel.
+func (p *Pool) Partitioner() *radix.Partitioner {
+	if p == nil {
+		return radix.NewPartitioner()
+	}
+	p.mu.Lock()
+	var pr *radix.Partitioner
+	if l := len(p.parters); l > 0 {
+		pr = p.parters[l-1]
+		p.parters = p.parters[:l-1]
+	}
+	p.mu.Unlock()
+	if pr == nil {
+		pr = radix.NewPartitioner()
+	}
+	return pr
+}
+
+// PutPartitioner returns pr to the freelist. The partitions returned by
+// its last Partition call alias its buffers, so release it only once they
+// are no longer read — in parallel joins, after all workers finished.
+func (p *Pool) PutPartitioner(pr *radix.Partitioner) {
+	if p == nil || pr == nil {
+		return
+	}
+	p.mu.Lock()
+	p.parters = append(p.parters, pr)
+	p.mu.Unlock()
+}
+
+// Tuples returns an empty tuple buffer with capacity at least n.
+func (p *Pool) Tuples(n int) []tuple.Tuple {
+	if p == nil {
+		return make([]tuple.Tuple, 0, n)
+	}
+	p.mu.Lock()
+	for i := len(p.tuples) - 1; i >= 0; i-- {
+		if cap(p.tuples[i]) >= n {
+			buf := p.tuples[i]
+			p.tuples[i] = p.tuples[len(p.tuples)-1]
+			p.tuples = p.tuples[:len(p.tuples)-1]
+			p.mu.Unlock()
+			return buf[:0]
+		}
+	}
+	p.mu.Unlock()
+	return make([]tuple.Tuple, 0, n)
+}
+
+// PutTuples returns a buffer taken with Tuples (possibly grown) to the
+// freelist.
+func (p *Pool) PutTuples(buf []tuple.Tuple) {
+	if p == nil || cap(buf) == 0 {
+		return
+	}
+	p.mu.Lock()
+	p.tuples = append(p.tuples, buf[:0])
+	p.mu.Unlock()
+}
+
+// U32 returns an empty uint32 scratch slice with capacity at least n.
+func (p *Pool) U32(n int) []uint32 {
+	if p == nil {
+		return make([]uint32, 0, n)
+	}
+	p.mu.Lock()
+	for i := len(p.u32s) - 1; i >= 0; i-- {
+		if cap(p.u32s[i]) >= n {
+			buf := p.u32s[i]
+			p.u32s[i] = p.u32s[len(p.u32s)-1]
+			p.u32s = p.u32s[:len(p.u32s)-1]
+			p.mu.Unlock()
+			return buf[:0]
+		}
+	}
+	p.mu.Unlock()
+	return make([]uint32, 0, n)
+}
+
+// PutU32 returns a scratch slice taken with U32 to the freelist.
+func (p *Pool) PutU32(buf []uint32) {
+	if p == nil || cap(buf) == 0 {
+		return
+	}
+	p.mu.Lock()
+	p.u32s = append(p.u32s, buf[:0])
+	p.mu.Unlock()
+}

@@ -1,0 +1,202 @@
+package pool
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/tuple"
+)
+
+func windowTuples(n, domain int, seed uint64) []tuple.Tuple {
+	rng := rand.New(rand.NewPCG(seed, seed^5))
+	out := make([]tuple.Tuple, n)
+	for i := range out {
+		out[i] = tuple.Tuple{Key: int32(rng.IntN(domain)), Payload: int32(i)}
+	}
+	return out
+}
+
+// TestNilPoolFallsBack pins the nil-receiver contract every algorithm
+// relies on: a nil *Pool hands out fresh, working state.
+func TestNilPoolFallsBack(t *testing.T) {
+	var p *Pool
+	if tab := p.Table(100, 3); tab == nil || tab.DirBuckets() == 0 {
+		t.Fatal("nil pool returned unusable Table")
+	}
+	if sh := p.Shared(100); sh == nil || sh.DirBuckets() == 0 {
+		t.Fatal("nil pool returned unusable Shared")
+	}
+	if pr := p.Partitioner(); pr == nil {
+		t.Fatal("nil pool returned nil Partitioner")
+	}
+	if buf := p.Tuples(10); cap(buf) < 10 || len(buf) != 0 {
+		t.Fatal("nil pool returned unusable tuple buffer")
+	}
+	if buf := p.U32(10); cap(buf) < 10 || len(buf) != 0 {
+		t.Fatal("nil pool returned unusable u32 buffer")
+	}
+	// Releases to a nil pool are no-ops, not panics.
+	p.PutTable(p.Table(10, 0))
+	p.PutShared(p.Shared(10))
+	p.PutPartitioner(p.Partitioner())
+	p.PutTuples(p.Tuples(4))
+	p.PutU32(p.U32(4))
+}
+
+// TestTableRoundTripSameClass checks a released table is reused for the
+// next window of the same size class, and that a much larger request does
+// not receive an undersized directory.
+func TestTableRoundTripSameClass(t *testing.T) {
+	p := New()
+	t1 := p.Table(1000, 4)
+	p.PutTable(t1)
+	t2 := p.Table(1000, 4)
+	if t1 != t2 {
+		t.Fatal("same-class request did not reuse the released table")
+	}
+	p.PutTable(t2)
+	big := p.Table(1_000_000, 0)
+	if big == t2 {
+		t.Fatal("a 1M-tuple request reused a 1k-tuple directory")
+	}
+	if big.DirBuckets() < 1_000_000/2 {
+		t.Fatalf("big table directory has %d buckets", big.DirBuckets())
+	}
+}
+
+// TestSharedRoundTrip does the same for the latched table.
+func TestSharedRoundTrip(t *testing.T) {
+	p := New()
+	s1 := p.Shared(5000)
+	s1.InsertBatch(windowTuples(100, 10, 1))
+	p.PutShared(s1)
+	s2 := p.Shared(5000)
+	if s1 != s2 {
+		t.Fatal("same-class request did not reuse the released Shared table")
+	}
+	if s2.Size() != 0 {
+		t.Fatalf("reused Shared table still holds %d tuples", s2.Size())
+	}
+}
+
+// TestPooledNPJWindowZeroAllocs drives the pooled NPJ kernel data path —
+// acquire the shared table, batch-build, batch-probe into a pooled pair
+// buffer, release — and proves the steady-state window allocates nothing.
+// (A full core.Run carries goroutine/metrics scaffolding whose allocations
+// are per-run, not per-tuple; the kernel path is what scales with data.
+// See PERFORMANCE.md.)
+func TestPooledNPJWindowZeroAllocs(t *testing.T) {
+	p := New()
+	build := windowTuples(4096, 64, 2)
+	probes := windowTuples(1024, 64, 3)
+
+	window := func() {
+		tab := p.Shared(len(build))
+		tab.InsertBatch(build)
+		pairs := p.Tuples(2 * 1024)
+		for lo := 0; lo < len(probes); lo += 256 {
+			pairs, _ = tab.ProbeBatch(probes[lo:lo+256], pairs[:0])
+		}
+		p.PutTuples(pairs)
+		p.PutShared(tab)
+	}
+	window() // first window sizes directory, chains, and pair buffer
+	window() // second window settles freelist capacities
+	if allocs := testing.AllocsPerRun(20, window); allocs != 0 {
+		t.Fatalf("steady-state pooled NPJ window allocates %.1f times, want 0", allocs)
+	}
+}
+
+// TestPooledSHJWindowZeroAllocs drives the pooled SHJ kernel data path:
+// two per-worker tables, interleaved batch build and probe from both
+// streams, all state released at window end.
+func TestPooledSHJWindowZeroAllocs(t *testing.T) {
+	p := New()
+	rs := windowTuples(2048, 32, 4)
+	ss := windowTuples(2048, 32, 5)
+	const bsz = 64
+
+	window := func() {
+		rtab := p.Table(len(rs)+16, 0)
+		stab := p.Table(len(ss)+16, 0)
+		pairs := p.Tuples(2 * bsz)
+		for lo := 0; lo < len(rs); lo += bsz {
+			rb, sb := rs[lo:lo+bsz], ss[lo:lo+bsz]
+			rtab.InsertBatch(rb)
+			pairs, _ = stab.ProbeBatch(rb, pairs[:0])
+			stab.InsertBatch(sb)
+			pairs, _ = rtab.ProbeBatch(sb, pairs[:0])
+		}
+		p.PutTuples(pairs)
+		p.PutTable(rtab)
+		p.PutTable(stab)
+	}
+	window()
+	window()
+	if allocs := testing.AllocsPerRun(20, window); allocs != 0 {
+		t.Fatalf("steady-state pooled SHJ window allocates %.1f times, want 0", allocs)
+	}
+}
+
+// TestPooledPRJWindowZeroAllocs covers the radix path: pooled partitioner,
+// hash-once SWWCB partitioning, pooled per-partition tables built and
+// probed through the *Hashed kernels.
+func TestPooledPRJWindowZeroAllocs(t *testing.T) {
+	p := New()
+	rs := windowTuples(4096, 512, 6)
+	ss := windowTuples(4096, 512, 7)
+	const bits = 4
+
+	window := func() {
+		pr := p.Partitioner()
+		ps := p.Partitioner()
+		partsR, hashR := pr.PartitionHashed(rs, bits, nil, 0)
+		partsS, hashS := ps.PartitionHashed(ss, bits, nil, 0)
+		pairs := p.Tuples(256)
+		for pi := range partsR {
+			if len(partsR[pi]) == 0 {
+				continue
+			}
+			tab := p.Table(len(partsR[pi]), bits)
+			tab.InsertBatchHashed(partsR[pi], hashR[pi])
+			pairs, _ = tab.ProbeBatchHashed(partsS[pi], hashS[pi], pairs[:0])
+			p.PutTable(tab)
+		}
+		p.PutTuples(pairs)
+		p.PutPartitioner(pr)
+		p.PutPartitioner(ps)
+	}
+	window()
+	window()
+	if allocs := testing.AllocsPerRun(20, window); allocs != 0 {
+		t.Fatalf("steady-state pooled PRJ window allocates %.1f times, want 0", allocs)
+	}
+}
+
+// TestPoolCorrectnessUnderReuse cross-checks that pooling never changes
+// results: many windows over one pool must match a fresh no-pool join.
+func TestPoolCorrectnessUnderReuse(t *testing.T) {
+	p := New()
+	for w := 0; w < 6; w++ {
+		build := windowTuples(512+w*100, 16+w, uint64(10+w))
+		probes := windowTuples(300, 16+w, uint64(20+w))
+
+		fresh := (*Pool)(nil).Table(len(build), 0)
+		fresh.InsertBatch(build)
+		_, want := fresh.ProbeBatch(probes, nil)
+
+		tab := p.Table(len(build), 0)
+		pairs := p.Tuples(16)
+		pairs, got := tab.ProbeBatch(probes, pairs[:0])
+		if got != 0 {
+			t.Fatalf("window %d: pooled table not empty before build", w)
+		}
+		tab.InsertBatch(build)
+		pairs, got = tab.ProbeBatch(probes, pairs[:0])
+		if got != want {
+			t.Fatalf("window %d: pooled join found %d matches, fresh found %d", w, got, want)
+		}
+		p.PutTuples(pairs)
+		p.PutTable(tab)
+	}
+}

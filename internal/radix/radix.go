@@ -25,45 +25,12 @@ func partKey(key int32, bits int) uint32 {
 
 // Partition splits rel into 2^bits physically contiguous partitions using
 // a histogram pass followed by a scatter pass (software-managed buffers in
-// the original; a dense prefix-sum scatter here). tr may be nil.
+// the original; a dense prefix-sum scatter here). Each key is hashed
+// exactly once: the histogram pass stores the hashes in a scratch slice
+// and the scatter derives partition indices from it instead of rehashing.
+// tr may be nil.
 func Partition(rel tuple.Relation, bits int, tr cachesim.Tracer, base uint64) []tuple.Relation {
-	if bits < 0 {
-		bits = 0
-	}
-	fanout := 1 << bits
-	hist := make([]int, fanout)
-	for i := range rel {
-		hist[partKey(rel[i].Key, bits)]++
-		if tr != nil {
-			tr.Access(base + uint64(i)*tupleBytes)
-			tr.Op(2)
-		}
-	}
-	offsets := make([]int, fanout)
-	sum := 0
-	for p, c := range hist {
-		offsets[p] = sum
-		sum += c
-	}
-	out := make(tuple.Relation, len(rel))
-	outBase := base + uint64(len(rel))*tupleBytes
-	pos := make([]int, fanout)
-	copy(pos, offsets)
-	for i := range rel {
-		p := partKey(rel[i].Key, bits)
-		out[pos[p]] = rel[i]
-		if tr != nil {
-			tr.Access(base + uint64(i)*tupleBytes)
-			tr.Access(outBase + uint64(pos[p])*tupleBytes)
-			tr.Op(3)
-		}
-		pos[p]++
-	}
-	parts := make([]tuple.Relation, fanout)
-	for p := 0; p < fanout; p++ {
-		parts[p] = out[offsets[p] : offsets[p]+hist[p]]
-	}
-	return parts
+	return partitionShifted(rel, bits, 0, tr, base)
 }
 
 // PartitionOf exposes the partition index for a key, so both relations are
@@ -102,15 +69,22 @@ func PartitionMultiPass(rel tuple.Relation, bits int, tr cachesim.Tracer, base u
 }
 
 // partitionShifted partitions on bits [shift, shift+bits) of the hashed
-// key, the building block of the multi-pass scheme.
+// key, the building block of the single- and multi-pass schemes. The
+// histogram pass hashes each key once into a scratch slice; the scatter
+// pass reads the stored hash back instead of recomputing it (the rehash
+// the pre-kernel implementation paid on every scatter).
 func partitionShifted(rel tuple.Relation, bits, shift int, tr cachesim.Tracer, base uint64) []tuple.Relation {
-	fanout := 1 << bits
-	sel := func(key int32) int {
-		return int((hashtable.Hash(key) >> shift) & (uint32(1)<<bits - 1))
+	if bits < 0 {
+		bits = 0
 	}
+	fanout := 1 << bits
+	mask := uint32(fanout - 1)
+	hashes := make([]uint32, len(rel))
 	hist := make([]int, fanout)
 	for i := range rel {
-		hist[sel(rel[i].Key)]++
+		h := hashtable.Hash(rel[i].Key)
+		hashes[i] = h
+		hist[(h>>shift)&mask]++
 		if tr != nil {
 			tr.Access(base + uint64(i)*tupleBytes)
 			tr.Op(2)
@@ -127,7 +101,7 @@ func partitionShifted(rel tuple.Relation, bits, shift int, tr cachesim.Tracer, b
 	pos := make([]int, fanout)
 	copy(pos, offsets)
 	for i := range rel {
-		p := sel(rel[i].Key)
+		p := (hashes[i] >> shift) & mask
 		out[pos[p]] = rel[i]
 		if tr != nil {
 			tr.Access(base + uint64(i)*tupleBytes)

@@ -1,0 +1,187 @@
+package radix
+
+// Software write-combining partitioning (SWWCB).
+//
+// The dense prefix-sum scatter of Partition keeps 2^bits open output
+// cursors: every tuple lands on a different partition's write frontier, so
+// the scatter touches up to 2^bits distinct cache lines and pages
+// concurrently — the TLB pressure that forces the scalar path into
+// multiple passes (MaxBitsPerPass). The original PRJ of Balkesen et al.
+// (inherited by the paper) instead stages tuples in per-partition
+// cache-line-sized software write-combining buffers and flushes a full
+// line at a time, so the working set of the scatter is the staging array
+// (fanout * 64 bytes, L1/L2-resident) plus one streaming write per flush.
+// That keeps even a 2^14-way scatter in a single pass.
+//
+// Partitioner bundles the SWWCB scatter with the hash-once discipline and
+// reusable scratch: hashes are computed once into a scratch slice, the
+// histogram and the scatter both read from it, and the scattered hashes
+// ride along with the tuples so downstream bucket placement
+// (hashtable.InsertBatchHashed/ProbeBatchHashed with SetShift) never
+// rehashes either. All buffers are retained across calls, so a pooled
+// Partitioner partitions steady-state windows with zero allocations.
+
+import (
+	"repro/internal/cachesim"
+	"repro/internal/hashtable"
+	"repro/internal/tuple"
+)
+
+// swwcbTuples is the staging capacity per partition: 4 tuples * 16 bytes =
+// one 64-byte cache line, the classic SWWCB granularity.
+const swwcbTuples = 4
+
+// Partitioner is a reusable hash-once SWWCB partitioning kernel. It is not
+// safe for concurrent use; parallel partitioning gives each worker its own
+// (pooled) Partitioner. The slices returned by Partition/PartitionHashed
+// alias the Partitioner's internal buffers and stay valid until the next
+// Partition call on the same Partitioner.
+type Partitioner struct {
+	hashes []uint32 // hash-once scratch, aligned with the input
+	hist   []int    // per-partition tuple counts
+	offs   []int    // partition start offsets (prefix sum of hist)
+	pos    []int    // partition write cursors during the scatter
+	stage  []tuple.Tuple
+	hstage []uint32
+	stageN []int32
+	out    []tuple.Tuple
+	outH   []uint32
+	parts  []tuple.Relation
+	hparts [][]uint32
+}
+
+// NewPartitioner returns an empty Partitioner; buffers grow on first use.
+func NewPartitioner() *Partitioner { return &Partitioner{} }
+
+// Partition splits rel into 2^bits physically contiguous partitions with
+// the SWWCB scatter. Partition order and contents are identical to the
+// scalar Partition / PartitionMultiPass. tr may be nil.
+//
+//iawj:hotpath
+func (p *Partitioner) Partition(rel tuple.Relation, bits int, tr cachesim.Tracer, base uint64) []tuple.Relation {
+	parts, _ := p.PartitionHashed(rel, bits, tr, base)
+	return parts
+}
+
+// PartitionHashed is Partition plus the hash-once product: the second
+// return value holds, for every partition, the key hashes aligned with the
+// partition's tuples, ready for hashtable.InsertBatchHashed /
+// ProbeBatchHashed with SetShift(bits).
+//
+//iawj:hotpath
+func (p *Partitioner) PartitionHashed(rel tuple.Relation, bits int, tr cachesim.Tracer, base uint64) ([]tuple.Relation, [][]uint32) {
+	if bits < 0 {
+		bits = 0
+	}
+	fanout := 1 << bits
+	mask := uint32(fanout - 1)
+	n := len(rel)
+	p.ensure(n, fanout)
+
+	// Pass 1: hash once, histogram from the scratch.
+	hashes := p.hashes[:n]
+	hist := p.hist[:fanout]
+	for i := range hist {
+		hist[i] = 0
+	}
+	for i := range rel {
+		h := hashtable.Hash(rel[i].Key)
+		hashes[i] = h
+		hist[h&mask]++
+		if tr != nil {
+			tr.Access(base + uint64(i)*tupleBytes)
+			tr.Op(2)
+		}
+	}
+	offs := p.offs[:fanout]
+	pos := p.pos[:fanout]
+	sum := 0
+	for pi, c := range hist {
+		offs[pi] = sum
+		pos[pi] = sum
+		sum += c
+	}
+
+	// Pass 2: SWWCB scatter. Tuples stage in per-partition cache lines
+	// (tr sees the L1-resident staging array) and flush as one bulk
+	// line write per full buffer (tr sees one access per flushed line,
+	// the SWWCB traffic model).
+	out := p.out[:n]
+	outH := p.outH[:n]
+	stage := p.stage[:fanout*swwcbTuples]
+	hstage := p.hstage[:fanout*swwcbTuples]
+	stageN := p.stageN[:fanout]
+	for i := range stageN {
+		stageN[i] = 0
+	}
+	outBase := base + uint64(n)*tupleBytes
+	stageBase := base ^ 1<<58
+	for i := range rel {
+		h := hashes[i]
+		pi := int(h & mask)
+		bn := stageN[pi]
+		slot := pi*swwcbTuples + int(bn)
+		stage[slot] = rel[i]
+		hstage[slot] = h
+		bn++
+		if tr != nil {
+			tr.Access(base + uint64(i)*tupleBytes)
+			tr.Access(stageBase + uint64(slot)*tupleBytes)
+			tr.Op(3)
+		}
+		if bn == swwcbTuples {
+			p.flush(out, outH, pi, int(bn), tr, outBase)
+			bn = 0
+		}
+		stageN[pi] = bn
+	}
+	for pi := 0; pi < fanout; pi++ {
+		if bn := stageN[pi]; bn > 0 {
+			p.flush(out, outH, pi, int(bn), tr, outBase)
+		}
+	}
+
+	parts := p.parts[:fanout]
+	hparts := p.hparts[:fanout]
+	for pi := 0; pi < fanout; pi++ {
+		lo := offs[pi]
+		hi := lo + hist[pi]
+		parts[pi] = out[lo:hi]
+		hparts[pi] = outH[lo:hi]
+	}
+	return parts, hparts
+}
+
+// flush copies partition pi's staged tuples (and hashes) to its output
+// cursor and models the bulk write at cache-line granularity.
+func (p *Partitioner) flush(out []tuple.Tuple, outH []uint32, pi, bn int, tr cachesim.Tracer, outBase uint64) {
+	dst := p.pos[pi]
+	slot := pi * swwcbTuples
+	copy(out[dst:dst+bn], p.stage[slot:slot+bn])
+	copy(outH[dst:dst+bn], p.hstage[slot:slot+bn])
+	p.pos[pi] = dst + bn
+	if tr != nil {
+		cachesim.AccessRange(tr, outBase+uint64(dst)*tupleBytes, bn*tupleBytes, 64)
+		tr.Op(1)
+	}
+}
+
+// ensure grows the reusable buffers for an input of n tuples and the given
+// fanout; steady-state reuse with stable sizes allocates nothing.
+func (p *Partitioner) ensure(n, fanout int) {
+	if cap(p.hashes) < n {
+		p.hashes = make([]uint32, n)
+		p.out = make(tuple.Relation, n)
+		p.outH = make([]uint32, n)
+	}
+	if cap(p.hist) < fanout {
+		p.hist = make([]int, fanout)
+		p.offs = make([]int, fanout)
+		p.pos = make([]int, fanout)
+		p.stage = make([]tuple.Tuple, fanout*swwcbTuples)
+		p.hstage = make([]uint32, fanout*swwcbTuples)
+		p.stageN = make([]int32, fanout)
+		p.parts = make([]tuple.Relation, fanout)
+		p.hparts = make([][]uint32, fanout)
+	}
+}

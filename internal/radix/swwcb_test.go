@@ -1,0 +1,227 @@
+package radix
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/hashtable"
+	"repro/internal/tuple"
+)
+
+// relations for the differential suite: the regimes the paper studies.
+func diffRelations() map[string]tuple.Relation {
+	rng := rand.New(rand.NewPCG(7, 11))
+	uniform := make(tuple.Relation, 4096)
+	for i := range uniform {
+		uniform[i] = tuple.Tuple{Key: rng.Int32N(1 << 20), Payload: int32(i)}
+	}
+	// Skew: most tuples share a handful of hot keys (Figure 13's regime).
+	skewed := make(tuple.Relation, 4096)
+	for i := range skewed {
+		k := rng.Int32N(8)
+		if rng.IntN(10) == 0 {
+			k = rng.Int32N(1 << 20)
+		}
+		skewed[i] = tuple.Tuple{Key: k, Payload: int32(i)}
+	}
+	// High duplication: every key repeats ~hundreds of times.
+	dup := make(tuple.Relation, 4096)
+	for i := range dup {
+		dup[i] = tuple.Tuple{Key: rng.Int32N(16), Payload: int32(i)}
+	}
+	return map[string]tuple.Relation{
+		"uniform": uniform,
+		"skewed":  skewed,
+		"highdup": dup,
+		"empty":   nil,
+		"single":  {tuple.Tuple{Key: 42, Payload: 1}},
+	}
+}
+
+func equalParts(t *testing.T, name string, got, want []tuple.Relation) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: fanout %d, want %d", name, len(got), len(want))
+	}
+	for p := range want {
+		if len(got[p]) != len(want[p]) {
+			t.Fatalf("%s: partition %d has %d tuples, want %d", name, p, len(got[p]), len(want[p]))
+		}
+		for i := range want[p] {
+			if got[p][i] != want[p][i] {
+				t.Fatalf("%s: partition %d tuple %d = %+v, want %+v", name, p, i, got[p][i], want[p][i])
+			}
+		}
+	}
+}
+
+// TestPartitionerMatchesScalar is the differential heart: the SWWCB
+// scatter must produce byte-identical partitions to the scalar reference
+// across key regimes and fanouts, including fanout 1 and bits past
+// MaxBitsPerPass (where the scalar side goes multi-pass).
+func TestPartitionerMatchesScalar(t *testing.T) {
+	p := NewPartitioner()
+	for name, rel := range diffRelations() {
+		for _, bits := range []int{0, 1, 4, 8, 12} {
+			want := Partition(rel, bits, nil, 0)
+			got := p.Partition(rel, bits, nil, 0)
+			equalParts(t, fmt.Sprintf("%s/bits=%d", name, bits), got, want)
+			wantMP := PartitionMultiPass(rel, bits, nil, 0)
+			equalParts(t, fmt.Sprintf("%s/bits=%d/multipass", name, bits), got, wantMP)
+		}
+	}
+}
+
+// TestPartitionerHashesAligned checks the hash-once product: every
+// returned hash must be the hash of the tuple at the same offset, so
+// downstream InsertBatchHashed/ProbeBatchHashed never rehash wrongly.
+func TestPartitionerHashesAligned(t *testing.T) {
+	p := NewPartitioner()
+	for name, rel := range diffRelations() {
+		parts, hparts := p.PartitionHashed(rel, 6, nil, 0)
+		if len(parts) != len(hparts) {
+			t.Fatalf("%s: %d partitions but %d hash partitions", name, len(parts), len(hparts))
+		}
+		for pi := range parts {
+			if len(parts[pi]) != len(hparts[pi]) {
+				t.Fatalf("%s: partition %d length mismatch", name, pi)
+			}
+			for i, x := range parts[pi] {
+				if hparts[pi][i] != hashtable.Hash(x.Key) {
+					t.Fatalf("%s: partition %d hash %d misaligned", name, pi, i)
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionerReuse runs the same Partitioner across inputs of varying
+// shapes; stale buffer state leaking between calls would corrupt the
+// second result.
+func TestPartitionerReuse(t *testing.T) {
+	p := NewPartitioner()
+	rels := diffRelations()
+	order := []string{"uniform", "empty", "highdup", "single", "skewed", "uniform"}
+	for _, name := range order {
+		rel := rels[name]
+		for _, bits := range []int{10, 2} {
+			got := p.Partition(rel, bits, nil, 0)
+			equalParts(t, fmt.Sprintf("reuse/%s/bits=%d", name, bits), got, Partition(rel, bits, nil, 0))
+		}
+	}
+}
+
+// TestPartitionerZeroSteadyStateAllocs proves the reusable-buffer claim:
+// after warmup, repartitioning same-shaped input allocates nothing.
+func TestPartitionerZeroSteadyStateAllocs(t *testing.T) {
+	rel := diffRelations()["uniform"]
+	p := NewPartitioner()
+	p.Partition(rel, 10, nil, 0) // size the buffers
+	allocs := testing.AllocsPerRun(50, func() {
+		p.Partition(rel, 10, nil, 0)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Partition allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+// FuzzPartitionerDiff drives the SWWCB scatter against the scalar
+// reference with arbitrary key bytes and bit counts.
+func FuzzPartitionerDiff(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(4))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 255, 255, 255, 255}, uint8(1))
+	f.Add([]byte{}, uint8(9))
+	f.Fuzz(func(t *testing.T, raw []byte, bitsRaw uint8) {
+		bits := int(bitsRaw % 13)
+		rel := make(tuple.Relation, 0, len(raw)/4)
+		for r := bytes.NewReader(raw); ; {
+			var k int32
+			if err := binary.Read(r, binary.LittleEndian, &k); err != nil {
+				break
+			}
+			rel = append(rel, tuple.Tuple{Key: k, Payload: int32(len(rel))})
+		}
+		want := Partition(rel, bits, nil, 0)
+		got := NewPartitioner().Partition(rel, bits, nil, 0)
+		if len(got) != len(want) {
+			t.Fatalf("fanout %d, want %d", len(got), len(want))
+		}
+		for p := range want {
+			if len(got[p]) != len(want[p]) {
+				t.Fatalf("partition %d has %d tuples, want %d", p, len(got[p]), len(want[p]))
+			}
+			for i := range want[p] {
+				if got[p][i] != want[p][i] {
+					t.Fatalf("partition %d tuple %d differs", p, i)
+				}
+			}
+		}
+	})
+}
+
+// partitionRehash is the pre-kernel scatter kept as a benchmark baseline:
+// it hashes every key twice, once in the histogram pass and again in the
+// scatter — the duplicated work the hash-once kernel removed.
+func partitionRehash(rel tuple.Relation, bits int) []tuple.Relation {
+	fanout := 1 << bits
+	mask := uint32(fanout - 1)
+	hist := make([]int, fanout)
+	for i := range rel {
+		hist[hashtable.Hash(rel[i].Key)&mask]++
+	}
+	pos := make([]int, fanout)
+	sum := 0
+	offs := make([]int, fanout)
+	for p, c := range hist {
+		offs[p] = sum
+		pos[p] = sum
+		sum += c
+	}
+	out := make(tuple.Relation, len(rel))
+	for i := range rel {
+		p := hashtable.Hash(rel[i].Key) & mask // the rehash
+		out[pos[p]] = rel[i]
+		pos[p]++
+	}
+	parts := make([]tuple.Relation, fanout)
+	for p := 0; p < fanout; p++ {
+		parts[p] = out[offs[p] : offs[p]+hist[p]]
+	}
+	return parts
+}
+
+// BenchmarkKernelPartition is the satellite regression benchmark: rehash
+// is the old double-hash scatter, hashonce the fixed scalar path, swwcb
+// the write-combining kernel. scripts/bench.sh compares them into
+// BENCH_3.json; hashonce and swwcb must beat rehash.
+func BenchmarkKernelPartition(b *testing.B) {
+	rng := rand.New(rand.NewPCG(3, 5))
+	rel := make(tuple.Relation, 131_072)
+	for i := range rel {
+		rel[i] = tuple.Tuple{Key: rng.Int32N(1 << 24), Payload: int32(i)}
+	}
+	const bits = 10
+	b.Run("rehash", func(b *testing.B) {
+		b.SetBytes(int64(len(rel)) * 16)
+		for i := 0; i < b.N; i++ {
+			partitionRehash(rel, bits)
+		}
+	})
+	b.Run("hashonce", func(b *testing.B) {
+		b.SetBytes(int64(len(rel)) * 16)
+		for i := 0; i < b.N; i++ {
+			Partition(rel, bits, nil, 0)
+		}
+	})
+	b.Run("swwcb", func(b *testing.B) {
+		p := NewPartitioner()
+		b.SetBytes(int64(len(rel)) * 16)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.Partition(rel, bits, nil, 0)
+		}
+	})
+}

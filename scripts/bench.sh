@@ -1,19 +1,97 @@
 #!/usr/bin/env bash
-# bench.sh — short per-algorithm benchmark sweep, machine-readable.
+# bench.sh — short benchmark sweeps, machine-readable.
 #
-# Runs the BenchmarkJoin microbenchmark over the eight studied algorithms
-# (see bench_test.go) and writes the parsed results as JSON, one object
-# per algorithm with ns/op, MB/s, and the match count. The output file
-# defaults to BENCH_2.json at the repo root:
+# Two modes:
 #
-#   ./scripts/bench.sh                # writes BENCH_2.json
-#   BENCHTIME=5x ./scripts/bench.sh out.json
+#   ./scripts/bench.sh [out.json]           # algorithms -> BENCH_2.json
+#   ./scripts/bench.sh kernels [out.json]   # kernel layer -> BENCH_3.json
 #
-# The sweep is intentionally short (BENCHTIME defaults to 1x): it is a
-# regression tripwire and JSON schema anchor, not a rigorous measurement —
-# raise BENCHTIME for one.
+# The default mode runs the BenchmarkJoin microbenchmark over the eight
+# studied algorithms (see bench_test.go) and writes the parsed results as
+# JSON, one object per algorithm with ns/op, MB/s, and the match count.
+#
+# The kernels mode runs the BenchmarkKernel* microbenchmarks of
+# internal/radix and internal/hashtable — partition (rehash / hashonce /
+# swwcb), build (scalar / batched), probe (scalar / batched), probecount
+# (scalar / batched) — and writes per-variant results plus the speedup of
+# every variant over its kernel's baseline (rehash for partition, scalar
+# elsewhere). See PERFORMANCE.md for how to read BENCH_3.json.
+#
+# Sweeps are intentionally short (BENCHTIME defaults to 1x for algorithms,
+# 100x for kernels): regression tripwires and JSON schema anchors, not
+# rigorous measurements — raise BENCHTIME for one.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+MODE="algorithms"
+if [ "${1:-}" = "kernels" ]; then
+    MODE="kernels"
+    shift
+fi
+
+if [ "$MODE" = "kernels" ]; then
+    OUT="${1:-BENCH_3.json}"
+    BENCHTIME="${BENCHTIME:-100x}"
+
+    raw="$(go test -run '^$' -bench '^BenchmarkKernel' -benchtime="$BENCHTIME" \
+        ./internal/radix ./internal/hashtable)"
+
+    echo "$raw" | awk -v benchtime="$BENCHTIME" '
+    BEGIN { n = 0 }
+    /^goos:/    { goos = $2 }
+    /^goarch:/  { goarch = $2 }
+    /^cpu:/     { sub(/^cpu: /, ""); cpu = $0 }
+    /^BenchmarkKernel[A-Za-z]+\// {
+        # BenchmarkKernelPartition/swwcb-8  100  123456 ns/op  1234.56 MB/s
+        split($1, parts, "/")
+        sub(/^BenchmarkKernel/, "", parts[1])
+        sub(/-[0-9]+$/, "", parts[2])
+        kern[n] = tolower(parts[1])
+        variant[n] = parts[2]
+        nsop[n] = ""; mbs[n] = ""
+        for (i = 3; i < NF; i++) {
+            if ($(i+1) == "ns/op") nsop[n] = $i
+            if ($(i+1) == "MB/s")  mbs[n] = $i
+        }
+        ns[kern[n] "/" variant[n]] = nsop[n]
+        n++
+    }
+    END {
+        if (n == 0) { print "bench.sh: no BenchmarkKernel results parsed" > "/dev/stderr"; exit 1 }
+        base["partition"] = "rehash"
+        base["build"] = "scalar"
+        base["probe"] = "scalar"
+        base["probecount"] = "scalar"
+        printf "{\n"
+        printf "  \"schema\": \"iawj-kernelbench/v1\",\n"
+        printf "  \"benchtime\": \"%s\",\n", benchtime
+        printf "  \"goos\": \"%s\",\n", goos
+        printf "  \"goarch\": \"%s\",\n", goarch
+        printf "  \"cpu\": \"%s\",\n", cpu
+        printf "  \"results\": [\n"
+        for (i = 0; i < n; i++) {
+            printf "    {\"kernel\": \"%s\", \"variant\": \"%s\", \"ns_per_op\": %s, \"mb_per_s\": %s}%s\n", \
+                kern[i], variant[i], nsop[i], (mbs[i] == "" ? "null" : mbs[i]), (i < n-1 ? "," : "")
+        }
+        printf "  ],\n"
+        printf "  \"speedup_vs_baseline\": {\n"
+        m = 0
+        for (i = 0; i < n; i++) {
+            b = base[kern[i]]
+            if (b == "" || variant[i] == b) continue
+            if (ns[kern[i] "/" b] == "" || nsop[i] == 0) continue
+            sp[m] = sprintf("    \"%s_%s\": %.3f", kern[i], variant[i], ns[kern[i] "/" b] / nsop[i])
+            m++
+        }
+        for (i = 0; i < m; i++) printf "%s%s\n", sp[i], (i < m-1 ? "," : "")
+        printf "  }\n"
+        printf "}\n"
+    }' > "$OUT"
+
+    count="$(grep -c '"kernel"' "$OUT")"
+    echo "bench.sh: wrote $OUT ($count kernel variants)"
+    exit 0
+fi
 
 OUT="${1:-BENCH_2.json}"
 BENCHTIME="${BENCHTIME:-1x}"

@@ -11,6 +11,10 @@
 #   7. trace smoke  a scaled-down fig7 sweep with -trace must yield valid
 #                   Chrome trace JSON with spans for every phase
 #   8. fuzz smoke   5s per existing fuzz target on the gen/ingest parsers
+#                   plus the kernel differential fuzzers
+#   9. bench smoke  every BenchmarkKernel* microbenchmark runs once under
+#                   the race detector, so the batched kernels stay
+#                   runnable and race-clean without a full measurement
 #
 # Any stage failing aborts the gate with a non-zero exit.
 set -euo pipefail
@@ -62,5 +66,11 @@ step "fuzz smoke (${FUZZTIME} per target)"
 go test -run='^$' -fuzz='^FuzzReadCSV$' -fuzztime="$FUZZTIME" ./internal/gen
 go test -run='^$' -fuzz='^FuzzReadStream$' -fuzztime="$FUZZTIME" ./internal/ingest
 go test -run='^$' -fuzz='^FuzzReadBinary$' -fuzztime="$FUZZTIME" ./internal/ingest
+go test -run='^$' -fuzz='^FuzzPartitionerDiff$' -fuzztime="$FUZZTIME" ./internal/radix
+go test -run='^$' -fuzz='^FuzzBatchDiff$' -fuzztime="$FUZZTIME" ./internal/hashtable
+
+step "bench smoke (kernel microbenchmarks, 1x under -race)"
+go test -race -run '^$' -bench '^BenchmarkKernel' -benchtime=1x \
+    ./internal/radix ./internal/hashtable
 
 printf '\ncheck: all stages passed\n'

@@ -38,10 +38,18 @@ type WindowResult struct {
 // input on only one side produce zero matches without running a join.
 // Timestamps inside each window are rebased to the window start so the
 // arrival simulation of each join replays that window in isolation.
+//
+// Successive windows are exactly the state-reuse pattern the window pool
+// exists for, so when cfg.Pool is nil the driver creates one shared by
+// all windows of this call; pass your own pool to share state across
+// calls too.
 func JoinWindowed(r, s Relation, spec WindowSpec, cfg Config) ([]WindowResult, error) {
 	pairs, err := window.AssignPair(r, s, spec)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Pool == nil {
+		cfg.Pool = NewStatePool()
 	}
 	out := make([]WindowResult, len(pairs))
 	for i, p := range pairs {
@@ -72,6 +80,11 @@ func JoinWindowedParallel(r, s Relation, spec WindowSpec, cfg Config, workers in
 	pairs, err := window.AssignPair(r, s, spec)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Pool == nil {
+		// One pool shared by all in-flight windows: the pool is
+		// concurrency-safe and a window's released state seeds the next.
+		cfg.Pool = NewStatePool()
 	}
 	out := make([]WindowResult, len(pairs))
 	errs := make([]error, len(pairs))
