@@ -6,7 +6,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: check build test lint race trace-smoke bench bench-kernels bench-smoke fuzz-smoke fmt
+.PHONY: check build test lint race trace-smoke bench bench-kernels bench-smoke fuzz-smoke conform conform-full fmt
 
 ## check: run the full CI gate (fmt, vet, build, lint, test, race, fuzz)
 check:
@@ -46,11 +46,20 @@ bench-kernels:
 bench-smoke:
 	$(GO) test -race -run '^$$' -bench '^BenchmarkKernel' -benchtime=1x ./internal/radix ./internal/hashtable
 
-## fuzz-smoke: short fuzz run on the gen/ingest parsers
+## fuzz-smoke: short fuzz run on the gen/ingest parsers + conformance
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzReadCSV$$' -fuzztime=$(FUZZTIME) ./internal/gen
 	$(GO) test -run='^$$' -fuzz='^FuzzReadStream$$' -fuzztime=$(FUZZTIME) ./internal/ingest
 	$(GO) test -run='^$$' -fuzz='^FuzzReadBinary$$' -fuzztime=$(FUZZTIME) ./internal/ingest
+	$(GO) test -run='^$$' -fuzz='^FuzzConformance$$' -fuzztime=$(FUZZTIME) ./internal/oracle
+
+## conform: conformance smoke matrix under the race detector (see TESTING.md)
+conform:
+	$(GO) run -race ./cmd/iawjconform -smoke
+
+## conform-full: the full differential + metamorphic conformance sweep
+conform-full:
+	$(GO) run ./cmd/iawjconform
 
 ## fmt: apply gofmt to the tree
 fmt:

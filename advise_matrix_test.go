@@ -1,0 +1,208 @@
+package iawj
+
+import "testing"
+
+// This file tests the Figure 4 decision tree two ways. leafCases walks
+// every root-to-leaf path with hand-built profiles, so a threshold or
+// branch regression shows up as a wrong leaf. TestAdviseFixtureMatrix
+// replays the recorded evaluation (Figure 5 and Table 3 of
+// experiments_output.txt) and holds the tree to its practical promise:
+// on the four real-world workloads the advised algorithm never loses
+// more than 2x to the best recorded one, on throughput or p95 latency.
+
+type leafCase struct {
+	name string
+	p    Profile
+	want string // advised algorithm
+	last string // final decision step, i.e. the leaf label
+}
+
+// leafCases covers every leaf of the tree. The lazy sub-tree is entered
+// from two places (high arrival rate, and medium rate with a throughput
+// objective); its high-duplication leaves are only reachable from the
+// high-rate side, because the medium branch peels off high duplication
+// to PMJ_JB before consulting the objective.
+func leafCases() []leafCase {
+	return []leafCase{
+		{"one low-rate stream", Profile{RateR: 500, RateS: 30000},
+			"SHJ_JM", "arrival rate: at least one is low"},
+		{"at rest counts as low on neither side", Profile{RateR: RateInfinite, RateS: 1000},
+			"SHJ_JM", "arrival rate: at least one is low"},
+		{"high rate, high dupe, many cores", Profile{RateR: RateInfinite, RateS: RateInfinite, Dupe: 50, Cores: 16},
+			"MPASS", "number of cores: large"},
+		{"high rate, high dupe, few cores", Profile{RateR: RateInfinite, RateS: RateInfinite, Dupe: 50, Cores: 4},
+			"MWAY", "number of cores: small"},
+		{"high rate, unique keys, low skew, large join", Profile{RateR: 25000, RateS: 25000, Dupe: 1, KeySkew: 0.2, Tuples: 2 << 20, Cores: 8},
+			"PRJ", "key skewness low and join large"},
+		{"high rate, unique keys, high skew", Profile{RateR: 25000, RateS: 25000, Dupe: 1, KeySkew: 1.5, Tuples: 2 << 20},
+			"NPJ", "key skewness high or join small"},
+		{"high rate, unique keys, small join", Profile{RateR: 25000, RateS: 25000, Dupe: 1, KeySkew: 0, Tuples: 1000},
+			"NPJ", "key skewness high or join small"},
+		{"medium rate, high dupe", Profile{RateR: 5000, RateS: 5000, Dupe: 20},
+			"PMJ_JB", "key duplication: high"},
+		{"medium rate, low dupe, throughput, large join", Profile{RateR: 5000, RateS: 5000, Dupe: 2, KeySkew: 0.3, Tuples: 2 << 20, Objective: OptThroughput},
+			"PRJ", "key skewness low and join large"},
+		{"medium rate, low dupe, throughput, small join", Profile{RateR: 5000, RateS: 5000, Dupe: 2, KeySkew: 0.3, Tuples: 1000, Objective: OptThroughput},
+			"NPJ", "key skewness high or join small"},
+		{"medium rate, low dupe, latency", Profile{RateR: 5000, RateS: 5000, Dupe: 2, Objective: OptLatency},
+			"SHJ_JM", "objective: latency"},
+		{"medium rate, low dupe, progressiveness", Profile{RateR: 5000, RateS: 5000, Dupe: 2, Objective: OptProgressiveness},
+			"SHJ_JM", "objective: progressiveness"},
+	}
+}
+
+func TestAdviseEveryLeafReachable(t *testing.T) {
+	leaves := map[string]bool{}
+	algos := map[string]bool{}
+	for _, c := range leafCases() {
+		adv := Advise(c.p)
+		if adv.Algorithm != c.want {
+			t.Fatalf("%s: advised %s, want %s (path %v)", c.name, adv.Algorithm, c.want, adv.Path)
+		}
+		if len(adv.Path) == 0 || adv.Path[len(adv.Path)-1] != c.last {
+			t.Fatalf("%s: leaf step %v, want %q", c.name, adv.Path, c.last)
+		}
+		leaves[c.last] = true
+		algos[adv.Algorithm] = true
+	}
+	// The tree has exactly these terminal labels and can emit exactly
+	// these six algorithms; a missing entry means a leaf went untested.
+	wantLeaves := []string{
+		"arrival rate: at least one is low",
+		"number of cores: large",
+		"number of cores: small",
+		"key skewness low and join large",
+		"key skewness high or join small",
+		"key duplication: high",
+		"objective: latency",
+		"objective: progressiveness",
+	}
+	for _, l := range wantLeaves {
+		if !leaves[l] {
+			t.Fatalf("leaf %q not covered", l)
+		}
+	}
+	if len(leaves) != len(wantLeaves) {
+		t.Fatalf("covered %d leaf labels, want %d: %v", len(leaves), len(wantLeaves), leaves)
+	}
+	for _, a := range []string{"SHJ_JM", "PMJ_JB", "MPASS", "MWAY", "PRJ", "NPJ"} {
+		if !algos[a] {
+			t.Fatalf("algorithm %s never advised", a)
+		}
+	}
+}
+
+func TestAdviseWithHonorsThresholds(t *testing.T) {
+	p := Profile{RateR: 5000, RateS: 5000, Dupe: 2, Objective: OptLatency}
+	if adv := Advise(p); adv.Algorithm != "SHJ_JM" || adv.Path[0] != "arrival rate: medium" {
+		t.Fatalf("default thresholds: %v", adv)
+	}
+	// Raising the low-rate cutoff reroutes the same profile to the
+	// low-rate leaf; raising the dupe cutoff reroutes a high-dupe
+	// profile to the low-dupe branch.
+	th := DefaultThresholds()
+	th.RateLowMax = 6000
+	if adv := AdviseWith(p, th); adv.Path[0] != "arrival rate: at least one is low" {
+		t.Fatalf("RateLowMax ignored: %v", adv)
+	}
+	hd := Profile{RateR: 5000, RateS: 5000, Dupe: 20, Objective: OptLatency}
+	th = DefaultThresholds()
+	th.DupeHighMin = 100
+	if adv := AdviseWith(hd, th); adv.Algorithm != "SHJ_JM" {
+		t.Fatalf("DupeHighMin ignored: %v", adv)
+	}
+}
+
+// recordedWorkload is one row group of the recorded evaluation: the
+// Table 3 profile statistics and the Figure 5 measurements, transcribed
+// from experiments_output.txt. Profile.Dupe is the minimum of the two
+// streams' duplication and KeySkew the maximum, matching how
+// ProfileWorkload condenses two streams into one profile.
+type recordedWorkload struct {
+	prof Profile
+	tput map[string]float64 // Figure 5 throughput, tuples/ms
+	p95  map[string]float64 // Figure 5 p95 latency, ms
+}
+
+func recordedFixtures() map[string]recordedWorkload {
+	return map[string]recordedWorkload{
+		"Stock": {
+			prof: Profile{RateR: 61, RateS: 77, Dupe: 9.5, KeySkew: 0.365, Tuples: 1380},
+			tput: map[string]float64{"NPJ": 98.6, "PRJ": 44.5, "MWAY": 35.4, "MPASS": 40.6,
+				"SHJ_JM": 125.5, "SHJ_JB": 37.3, "PMJ_JM": 98.6, "PMJ_JB": 27.1},
+			p95: map[string]float64{"NPJ": 11, "PRJ": 26, "MWAY": 34, "MPASS": 30,
+				"SHJ_JM": 3, "SHJ_JB": 28, "PMJ_JM": 9, "PMJ_JB": 44},
+		},
+		"Rovio": {
+			prof: Profile{RateR: 3000, RateS: 3000, Dupe: 179.6, KeySkew: 0.086, Tuples: 60000},
+			tput: map[string]float64{"NPJ": 11.0, "PRJ": 10.3, "MWAY": 11.7, "MPASS": 10.4,
+				"SHJ_JM": 9.9, "SHJ_JB": 9.3, "PMJ_JM": 8.5, "PMJ_JB": 10.1},
+			p95: map[string]float64{"NPJ": 5120, "PRJ": 4864, "MWAY": 4864, "MPASS": 5376,
+				"SHJ_JM": 5632, "SHJ_JB": 5888, "PMJ_JM": 6656, "PMJ_JB": 5376},
+		},
+		"YSB": {
+			prof: Profile{RateR: RateInfinite, RateS: 10000, Dupe: 1.0, KeySkew: 0.090, Tuples: 101000},
+			tput: map[string]float64{"NPJ": 789.1, "PRJ": 664.5, "MWAY": 275.2, "MPASS": 439.1,
+				"SHJ_JM": 375.5, "SHJ_JB": 223.5, "PMJ_JM": 561.1, "PMJ_JB": 323.7},
+			p95: map[string]float64{"NPJ": 112, "PRJ": 136, "MWAY": 336, "MPASS": 216,
+				"SHJ_JM": 240, "SHJ_JB": 416, "PMJ_JM": 160, "PMJ_JB": 288},
+		},
+		"DEBS": {
+			prof: Profile{RateR: RateInfinite, RateS: RateInfinite, Dupe: 15.6, KeySkew: 0.252, Tuples: 11000},
+			tput: map[string]float64{"NPJ": 92.4, "PRJ": 94.0, "MWAY": 71.9, "MPASS": 98.2,
+				"SHJ_JM": 79.7, "SHJ_JB": 14.9, "PMJ_JM": 92.4, "PMJ_JB": 78.0},
+			p95: map[string]float64{"NPJ": 100, "PRJ": 108, "MWAY": 136, "MPASS": 100,
+				"SHJ_JM": 120, "SHJ_JB": 704, "PMJ_JM": 108, "PMJ_JB": 124},
+		},
+	}
+}
+
+func TestAdviseFixtureMatrix(t *testing.T) {
+	// Expected dispatch per (workload, cores): the paper's mapping of its
+	// own workloads onto the tree. DEBS flips between the sort joins on
+	// the core budget; the others are core-independent.
+	wantAlgo := map[string]map[int]string{
+		"Stock": {4: "SHJ_JM", 8: "SHJ_JM"},
+		"Rovio": {4: "PMJ_JB", 8: "PMJ_JB"},
+		"YSB":   {4: "NPJ", 8: "NPJ"},
+		"DEBS":  {4: "MWAY", 8: "MPASS"},
+	}
+	for name, f := range recordedFixtures() {
+		if len(f.tput) != 8 || len(f.p95) != 8 {
+			t.Fatalf("%s: fixture must record all eight algorithms", name)
+		}
+		bestTput, bestP95 := 0.0, f.p95["NPJ"]
+		for _, v := range f.tput {
+			if v > bestTput {
+				bestTput = v
+			}
+		}
+		for _, v := range f.p95 {
+			if v < bestP95 {
+				bestP95 = v
+			}
+		}
+		for _, cores := range []int{4, 8} {
+			for _, obj := range []Objective{OptThroughput, OptLatency} {
+				p := f.prof
+				p.Cores = cores
+				p.Objective = obj
+				adv := Advise(p)
+				if want := wantAlgo[name][cores]; adv.Algorithm != want {
+					t.Fatalf("%s cores=%d obj=%v: advised %s, want %s (path %v)",
+						name, cores, obj, adv.Algorithm, want, adv.Path)
+				}
+				// The practical bar: never lose more than 2x to the best
+				// recorded algorithm, on either headline metric.
+				if got := f.tput[adv.Algorithm]; got < bestTput/2 {
+					t.Fatalf("%s cores=%d: advised %s has tput %.1f, best is %.1f (> 2x worse)",
+						name, cores, adv.Algorithm, got, bestTput)
+				}
+				if got := f.p95[adv.Algorithm]; got > bestP95*2 {
+					t.Fatalf("%s cores=%d: advised %s has p95 %.0f ms, best is %.0f ms (> 2x worse)",
+						name, cores, adv.Algorithm, got, bestP95)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Command iawjconform runs the conformance oracle: a differential matrix
+// that checks every studied intra-window-join algorithm against a
+// reference nested-loop oracle via order-independent result fingerprints,
+// plus metamorphic checks (join symmetry, window-split invariance, key
+// relabeling) and schedule perturbation (ingest jitter, adversarial
+// virtual clocks). See TESTING.md.
+//
+// Usage:
+//
+//	iawjconform              full matrix + metamorphic sweep
+//	iawjconform -smoke       CI subset (~seconds; scripts/check.sh runs
+//	                         this under the race detector)
+//	iawjconform -seed c1.SHJ_JM.boundary.t4.s9.p1.b1.j2.y1
+//	                         replay one failing cell exactly
+//
+// Every failure line carries the cell's seed string; pass it back via
+// -seed to reproduce the exact workload, jitter, and perturbation
+// envelope. Exit status: 0 all cells conform, 1 conformance failure or
+// run error, 2 usage.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/clock"
+	"repro/internal/oracle"
+)
+
+func main() {
+	var (
+		smoke   = flag.Bool("smoke", false, "run the CI subset of the matrix instead of the full sweep")
+		seedStr = flag.String("seed", "", "replay a single cell from its seed string")
+		meta    = flag.Bool("meta", true, "also run the metamorphic checks")
+		seeds   = flag.Int("seeds", 0, "override the number of workload seeds per cell shape")
+		algos   = flag.String("algos", "", "comma-separated algorithm subset (default: all eight)")
+		verbose = flag.Bool("v", false, "print every cell, not just failures")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: iawjconform [-smoke] [-seed <case>] [-meta=false] [-seeds n] [-algos a,b] [-v]")
+		os.Exit(2)
+	}
+
+	if *seedStr != "" {
+		os.Exit(replay(*seedStr, *meta))
+	}
+
+	m := oracle.FullMatrix()
+	label := "full"
+	if *smoke {
+		m = oracle.SmokeMatrix()
+		label = "smoke"
+	}
+	if *seeds > 0 {
+		m.Seeds = m.Seeds[:0]
+		for i := 1; i <= *seeds; i++ {
+			m.Seeds = append(m.Seeds, uint64(i))
+		}
+	}
+	if *algos != "" {
+		m.Algorithms = strings.Split(*algos, ",")
+	}
+
+	sw := clock.StartStopwatch()
+	failed := 0
+	ran, failedDiff := oracle.RunMatrix(m, func(o oracle.Outcome, err error) {
+		if err != nil {
+			fmt.Printf("FAIL %v\n     replay: iawjconform -seed %s\n", err, o.Case)
+		} else if *verbose {
+			fmt.Printf("ok   [%s] %s\n", o.Case, o.Got.Full)
+		}
+	})
+	failed += failedDiff
+	fmt.Printf("differential: %d/%d cells conform (%s matrix)\n", ran-failedDiff, ran, label)
+
+	if *meta {
+		metaRan, metaFailed := 0, 0
+		for _, c := range metaCases(m) {
+			metaRan++
+			if err := oracle.CheckMetamorphic(c); err != nil {
+				metaFailed++
+				fmt.Printf("FAIL meta %v\n     replay: iawjconform -seed %s\n", err, c)
+			} else if *verbose {
+				fmt.Printf("ok   meta [%s]\n", c)
+			}
+		}
+		failed += metaFailed
+		fmt.Printf("metamorphic: %d/%d cases hold\n", metaRan-metaFailed, metaRan)
+	}
+
+	fmt.Printf("conformance: %s in %.1fs\n", verdict(failed), float64(sw.ElapsedNs())/1e9)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// metaCases derives the metamorphic sweep from the differential matrix:
+// one case per algorithm × workload × seed at the matrix's highest
+// thread count (metamorphic checks rerun the join up to seven times, so
+// they multiply by shape, not by every schedule axis).
+func metaCases(m oracle.Matrix) []oracle.Case {
+	threads := 2
+	if len(m.Threads) > 0 {
+		threads = m.Threads[len(m.Threads)-1]
+	}
+	var out []oracle.Case
+	for _, alg := range m.Algorithms {
+		for _, wl := range m.Workloads {
+			for _, seed := range m.Seeds {
+				out = append(out, oracle.Case{
+					Algorithm: alg, Workload: wl, Threads: threads, Seed: seed, Pooled: true,
+				})
+			}
+		}
+	}
+	return out
+}
+
+func replay(seed string, meta bool) int {
+	c, err := oracle.ParseCase(seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	code := 0
+	o, err := oracle.RunCase(c)
+	if err != nil {
+		fmt.Printf("FAIL %v\n", err)
+		code = 1
+	} else {
+		fmt.Printf("ok   [%s] digest %s oracle %s matches %s\n",
+			c, o.Got.Full, o.Want.Full, strconv.FormatInt(o.Matches, 10))
+	}
+	if meta {
+		if err := oracle.CheckMetamorphic(c); err != nil {
+			fmt.Printf("FAIL meta %v\n", err)
+			code = 1
+		} else {
+			fmt.Printf("ok   meta [%s]\n", c)
+		}
+	}
+	return code
+}
+
+func verdict(failed int) string {
+	if failed > 0 {
+		return fmt.Sprintf("%d FAILURES", failed)
+	}
+	return "all checks passed"
+}

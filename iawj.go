@@ -22,6 +22,7 @@ import (
 	"sort"
 
 	"repro/internal/cachesim"
+	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/eager"
 	"repro/internal/lazy"
@@ -94,7 +95,17 @@ type Config struct {
 	// steady-state windows then run with zero kernel allocations
 	// (PERFORMANCE.md). Nil allocates fresh state per join.
 	Pool *StatePool
+
+	// WrapClock, when non-nil, wraps the run's virtual time source
+	// before any worker reads it. The conformance harness uses it to
+	// inject deterministic schedule perturbation (clock.Perturb); see
+	// TESTING.md. Most callers leave it nil.
+	WrapClock func(ClockSource) ClockSource
 }
+
+// ClockSource is the virtual time source algorithms run against; see
+// internal/clock and Config.WrapClock.
+type ClockSource = clock.Source
 
 // StatePool is the reusable per-window kernel state arena; see
 // NewStatePool and PERFORMANCE.md. A StatePool is safe for concurrent use
@@ -196,10 +207,11 @@ func Join(r, s Relation, cfg Config) (Result, error) {
 			BatchSize:         cfg.BatchSize,
 			SpillDir:          cfg.SpillDir,
 		},
-		Tracer: cfg.Tracer,
-		Trace:  cfg.Trace,
-		Emit:   cfg.Emit,
-		Pool:   cfg.Pool,
+		Tracer:    cfg.Tracer,
+		Trace:     cfg.Trace,
+		Emit:      cfg.Emit,
+		Pool:      cfg.Pool,
+		WrapClock: cfg.WrapClock,
 	})
 }
 

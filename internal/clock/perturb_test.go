@@ -1,0 +1,81 @@
+package clock
+
+import "testing"
+
+func TestPerturbedMonotoneAndBounded(t *testing.T) {
+	src := NewManual()
+	p := Perturb(src, PerturbConfig{Seed: 42, MaxJitterMs: 3})
+	prev := int64(-1)
+	for ms := int64(0); ms < 200; ms++ {
+		src.Set(ms)
+		got := p.NowMs()
+		if got < prev {
+			t.Fatalf("perturbed time went backwards: %d after %d (raw %d)", got, prev, ms)
+		}
+		if got > ms {
+			t.Fatalf("perturbed time %d ahead of raw %d", got, ms)
+		}
+		if ms-got > 3 {
+			t.Fatalf("jitter %d exceeds bound at raw %d (got %d)", ms-got, ms, got)
+		}
+		prev = got
+	}
+}
+
+func TestPerturbedDeterministicEnvelope(t *testing.T) {
+	// The jitter envelope is a pure function of (seed, raw time): two
+	// perturbed clocks over the same raw trajectory agree exactly.
+	run := func(seed uint64) []int64 {
+		src := NewManual()
+		p := Perturb(src, PerturbConfig{Seed: seed})
+		out := make([]int64, 100)
+		for ms := range out {
+			src.Set(int64(ms))
+			out[ms] = p.NowMs()
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at raw %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical envelopes (jitter inert?)")
+	}
+}
+
+func TestPerturbedAvailEventuallyTrue(t *testing.T) {
+	src := NewManual()
+	p := Perturb(src, PerturbConfig{Seed: 3, MaxJitterMs: 2})
+	src.Set(10)
+	if p.Avail(50) {
+		t.Fatal("ts=50 must not be available at raw 10")
+	}
+	// Jitter is bounded: once raw >= ts + MaxJitterMs, availability is
+	// guaranteed — the termination property WaitWindow relies on.
+	src.Set(52)
+	if !p.Avail(50) {
+		t.Fatal("ts=50 must be available once raw time exceeds ts + MaxJitterMs")
+	}
+}
+
+func TestPerturbedAtRestPassthrough(t *testing.T) {
+	src := NewStatic(1000)
+	p := Perturb(src, PerturbConfig{Seed: 1})
+	if !p.AtRest() {
+		t.Fatal("AtRest must pass through")
+	}
+	if !p.Avail(1 << 40) {
+		t.Fatal("at-rest availability must pass through")
+	}
+}

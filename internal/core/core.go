@@ -231,6 +231,11 @@ type RunConfig struct {
 	// Pool recycles per-window kernel state across runs; nil allocates
 	// fresh state per run (the pre-pool behaviour).
 	Pool *pool.Pool
+	// WrapClock, when non-nil, wraps the run's time source before any
+	// worker sees it. The conformance harness injects clock.Perturb here
+	// to vary arrival schedules and goroutine interleavings without
+	// touching algorithm code (see internal/oracle and TESTING.md).
+	WrapClock func(clock.Source) clock.Source
 }
 
 // DefaultNsPerSimMs compresses one simulated millisecond into 50µs of real
@@ -273,6 +278,9 @@ func Run(alg Algorithm, r, s tuple.Relation, windowMs int64, cfg RunConfig) (met
 		src = clock.NewStatic(ns)
 	} else {
 		src = clock.NewScaled(ns)
+	}
+	if cfg.WrapClock != nil {
+		src = cfg.WrapClock(src)
 	}
 	if cfg.Trace != nil {
 		cfg.Trace.StartRun(alg.Name())

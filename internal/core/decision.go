@@ -137,7 +137,8 @@ func Advise(p Profile, th Thresholds) Advice {
 	step("arrival rate: " + level.String())
 
 	if level == RateHigh {
-		return adviseLazy(p, th, path, step)
+		alg := adviseLazy(p, th, step)
+		return Advice{Algorithm: alg, Path: path}
 	}
 
 	// Medium arrival rate.
@@ -148,7 +149,8 @@ func Advise(p Profile, th Thresholds) Advice {
 	step("key duplication: low")
 	if p.Objective == OptThroughput {
 		step("objective: throughput")
-		return adviseLazy(p, th, path, step)
+		alg := adviseLazy(p, th, step)
+		return Advice{Algorithm: alg, Path: path}
 	}
 	step("objective: " + p.Objective.String())
 	return Advice{Algorithm: "SHJ_JM", Path: path}
@@ -156,22 +158,24 @@ func Advise(p Profile, th Thresholds) Advice {
 
 // adviseLazy resolves the lazy sub-tree: sort-based for high duplication
 // (MPass scaling better at large core counts), hash-based otherwise (PRJ
-// when skew is low and the join is large, NPJ otherwise).
-func adviseLazy(p Profile, th Thresholds, path []string, step func(string)) Advice {
+// when skew is low and the join is large, NPJ otherwise). It records its
+// decisions through step and returns only the algorithm, so the caller's
+// path — which step mutates — stays the single source of truth.
+func adviseLazy(p Profile, th Thresholds, step func(string)) string {
 	if p.Dupe >= th.DupeHighMin {
 		step("key duplication: high")
 		if p.Cores >= th.CoresLargeMin {
 			step("number of cores: large")
-			return Advice{Algorithm: "MPASS", Path: path}
+			return "MPASS"
 		}
 		step("number of cores: small")
-		return Advice{Algorithm: "MWAY", Path: path}
+		return "MWAY"
 	}
 	step("key duplication: low")
 	if p.KeySkew < th.SkewHighMin && p.Tuples >= th.TuplesLargeMin {
 		step("key skewness low and join large")
-		return Advice{Algorithm: "PRJ", Path: path}
+		return "PRJ"
 	}
 	step("key skewness high or join small")
-	return Advice{Algorithm: "NPJ", Path: path}
+	return "NPJ"
 }

@@ -1,0 +1,45 @@
+package ingest
+
+import (
+	"sort"
+
+	"repro/internal/tuple"
+)
+
+// JitterTS returns a copy of rel with every arrival timestamp shifted
+// forward by a deterministic pseudo-random amount in [0, maxMs], then
+// re-sorted into arrival order. Keys and payloads are untouched, so the
+// join *content* — which pairs match, and with what payloads — is
+// preserved exactly; only the arrival schedule moves. The conformance
+// harness uses this to model ingest-side delivery jitter (network and
+// queueing delay ahead of the join): every algorithm and the reference
+// oracle see the same jittered input, so their result fingerprints must
+// still agree even though batching and interleaving shift.
+//
+// The shift depends on (seed, position, tuple content), so two tuples
+// sharing a timestamp generally land apart — reordering ties is precisely
+// the schedule variation single-seed generators never produce.
+func JitterTS(rel tuple.Relation, maxMs int64, seed uint64) tuple.Relation {
+	out := rel.Clone()
+	if maxMs <= 0 || len(out) == 0 {
+		return out
+	}
+	for i := range out {
+		h := mix64(seed ^ uint64(i)<<32 ^ uint64(uint32(out[i].Key)))
+		out[i].TS += int64(h % uint64(maxMs+1))
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].TS < out[j].TS })
+	return out
+}
+
+// mix64 is the splitmix64 finalizer, the same mixing used by the
+// perturbation clock (internal/clock), kept dependency-free here.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,86 @@
+package ingest
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/tuple"
+)
+
+func jitterFixture() tuple.Relation {
+	rel := make(tuple.Relation, 64)
+	for i := range rel {
+		rel[i] = tuple.Tuple{TS: int64(i / 4), Key: int32(i % 8), Payload: int32(i)}
+	}
+	return rel
+}
+
+func TestJitterTSPreservesContent(t *testing.T) {
+	rel := jitterFixture()
+	got := JitterTS(rel, 5, 99)
+	if len(got) != len(rel) {
+		t.Fatalf("len = %d, want %d", len(got), len(rel))
+	}
+	if !got.SortedByTS() {
+		t.Fatal("jittered relation must be re-sorted into arrival order")
+	}
+	// The (key, payload) multiset is untouched: only timestamps move.
+	key := func(tp tuple.Tuple) uint64 { return uint64(uint32(tp.Key))<<32 | uint64(uint32(tp.Payload)) }
+	a := make([]uint64, len(rel))
+	b := make([]uint64, len(got))
+	for i := range rel {
+		a[i], b[i] = key(rel[i]), key(got[i])
+	}
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("content multiset changed at %d: %x vs %x", i, a[i], b[i])
+		}
+	}
+}
+
+func TestJitterTSBoundedAndDeterministic(t *testing.T) {
+	rel := jitterFixture()
+	a := JitterTS(rel, 5, 7)
+	b := JitterTS(rel, 5, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Each individual shift is bounded by maxMs; after sorting, max TS
+	// can have grown by at most maxMs.
+	if a.MaxTS() > rel.MaxTS()+5 {
+		t.Fatalf("jitter exceeded bound: max %d from %d", a.MaxTS(), rel.MaxTS())
+	}
+	c := JitterTS(rel, 5, 8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestJitterTSZeroAndEmpty(t *testing.T) {
+	rel := jitterFixture()
+	got := JitterTS(rel, 0, 1)
+	for i := range got {
+		if got[i] != rel[i] {
+			t.Fatalf("maxMs=0 must be an exact copy, diverged at %d", i)
+		}
+	}
+	// The copy must not alias the input.
+	got[0].Payload++
+	if rel[0].Payload == got[0].Payload {
+		t.Fatal("JitterTS must deep-copy the relation")
+	}
+	if out := JitterTS(nil, 5, 1); len(out) != 0 {
+		t.Fatalf("nil input produced %d tuples", len(out))
+	}
+}

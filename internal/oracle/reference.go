@@ -1,0 +1,46 @@
+package oracle
+
+import "repro/internal/tuple"
+
+// Reference computes the ground-truth digest of the intra-window join of r
+// and s with an index nested-loop: group s by key, then stream r through
+// the groups, materializing every (r, s) pair exactly once via the same
+// tuple.ResultOf the algorithms use. It is deliberately the most boring
+// possible implementation — no partitioning, no sorting, no concurrency,
+// no shared kernels — so a bug in the optimized layers cannot also live
+// here.
+//
+// The grouping is a pure lookup accelerator: the produced multiset is
+// identical to the textbook O(|r|·|s|) double loop (NestedLoop below,
+// which the oracle's own tests cross-check on small inputs).
+func Reference(r, s tuple.Relation) Digest {
+	var d Digest
+	if len(r) == 0 || len(s) == 0 {
+		return d
+	}
+	byKey := make(map[int32][]tuple.Tuple, len(s))
+	for _, st := range s {
+		byKey[st.Key] = append(byKey[st.Key], st)
+	}
+	for _, rt := range r {
+		for _, st := range byKey[rt.Key] {
+			d.AddResult(tuple.ResultOf(rt, st))
+		}
+	}
+	return d
+}
+
+// NestedLoop is the textbook quadratic join, the oracle's own oracle: it
+// exists so Reference's grouping can be verified against something with
+// no data structure at all. Use only on small inputs.
+func NestedLoop(r, s tuple.Relation) Digest {
+	var d Digest
+	for _, rt := range r {
+		for _, st := range s {
+			if rt.Key == st.Key {
+				d.AddResult(tuple.ResultOf(rt, st))
+			}
+		}
+	}
+	return d
+}

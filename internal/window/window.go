@@ -79,7 +79,10 @@ type Window struct {
 	Start, End int64
 }
 
-// Contains reports whether ts falls inside the window.
+// Contains reports whether ts falls inside the half-open window
+// [Start, End): the opening instant is included, the close excluded.
+// This is the normative boundary rule; every assignment path must agree
+// with it (pinned by boundary_test.go).
 func (w Window) Contains(ts int64) bool { return ts >= w.Start && ts < w.End }
 
 // Length returns End - Start.

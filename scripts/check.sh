@@ -11,10 +11,15 @@
 #   7. trace smoke  a scaled-down fig7 sweep with -trace must yield valid
 #                   Chrome trace JSON with spans for every phase
 #   8. fuzz smoke   5s per existing fuzz target on the gen/ingest parsers
-#                   plus the kernel differential fuzzers
+#                   plus the kernel differential fuzzers and the
+#                   whole-join conformance fuzzer
 #   9. bench smoke  every BenchmarkKernel* microbenchmark runs once under
 #                   the race detector, so the batched kernels stay
 #                   runnable and race-clean without a full measurement
+#  10. conformance smoke  iawjconform -smoke under the race detector:
+#                   the differential matrix (all 8 algorithms x threads x
+#                   workloads x schedule perturbations vs the reference
+#                   oracle) plus the metamorphic checks; see TESTING.md
 #
 # Any stage failing aborts the gate with a non-zero exit.
 set -euo pipefail
@@ -68,9 +73,13 @@ go test -run='^$' -fuzz='^FuzzReadStream$' -fuzztime="$FUZZTIME" ./internal/inge
 go test -run='^$' -fuzz='^FuzzReadBinary$' -fuzztime="$FUZZTIME" ./internal/ingest
 go test -run='^$' -fuzz='^FuzzPartitionerDiff$' -fuzztime="$FUZZTIME" ./internal/radix
 go test -run='^$' -fuzz='^FuzzBatchDiff$' -fuzztime="$FUZZTIME" ./internal/hashtable
+go test -run='^$' -fuzz='^FuzzConformance$' -fuzztime="$FUZZTIME" ./internal/oracle
 
 step "bench smoke (kernel microbenchmarks, 1x under -race)"
 go test -race -run '^$' -bench '^BenchmarkKernel' -benchtime=1x \
     ./internal/radix ./internal/hashtable
+
+step "conformance smoke (iawjconform -smoke under -race)"
+go run -race ./cmd/iawjconform -smoke
 
 printf '\ncheck: all stages passed\n'
