@@ -6,7 +6,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: check build test lint race trace-smoke bench bench-kernels bench-smoke fuzz-smoke conform conform-full fmt
+.PHONY: check build test lint lint-json lint-sarif escapegate race trace-smoke bench bench-kernels bench-smoke fuzz-smoke conform conform-full fmt
 
 ## check: run the full CI gate (fmt, vet, build, lint, test, race, fuzz)
 check:
@@ -23,6 +23,19 @@ test:
 ## lint: repo-specific static analysis (cmd/iawjlint)
 lint:
 	$(GO) run ./cmd/iawjlint ./...
+
+## lint-json: machine-readable findings — SARIF to lint.sarif, JSON to stdout
+lint-json:
+	$(GO) run ./cmd/iawjlint -sarif ./... > lint.sarif
+	$(GO) run ./cmd/iawjlint -json ./...
+
+## lint-sarif: SARIF 2.1.0 findings on stdout (for code-scanning upload)
+lint-sarif:
+	$(GO) run ./cmd/iawjlint -sarif ./...
+
+## escapegate: only the escape-analysis stage of the lint gate
+escapegate:
+	$(GO) run ./cmd/iawjlint -rules escapegate ./...
 
 ## race: full test suite under the race detector
 race:

@@ -13,17 +13,29 @@
 //
 // Flags:
 //
-//	-rules r1,r2   run only the named rules
-//	-tests         also lint _test.go files
-//	-list          print the available rules and exit
+//	-rules r1,r2       run only the named rules
+//	-tests             also lint _test.go files
+//	-list              print the available rules and exit
+//	-json              emit findings as JSON (schema version 1)
+//	-sarif             emit findings as SARIF 2.1.0
+//	-baseline FILE     suppress findings recorded in FILE
+//	-update-baseline   rewrite FILE with the current findings and exit 0
+//
+// Beyond the per-package analyzers, the driver runs the whole-program
+// analyzers (lockorder, falseshare) over every resolved package at once,
+// and the escapegate build stage (`go build -gcflags=-m=2`) over the
+// module, anchoring compiler escape diagnostics to //iawj:hotpath spans.
 //
 // Escape hatches: a `//lint:allow <rule> <reason>` comment on (or directly
 // above) the offending line, or the per-rule path allowlist baked into
-// internal/lint for sanctioned packages such as internal/clock. See
-// LINTING.md for the rule catalogue.
+// internal/lint for sanctioned packages such as internal/clock. A baseline
+// file is for staged adoption of new rules on large trees only — this
+// repo's gate runs without one. See LINTING.md for the rule catalogue.
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -47,16 +59,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 	rules := fs.String("rules", "", "comma-separated rule names to run (default: all)")
 	tests := fs.Bool("tests", false, "also lint _test.go files")
 	list := fs.Bool("list", false, "print the available rules and exit")
+	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	sarifOut := fs.Bool("sarif", false, "emit findings as SARIF 2.1.0")
+	baseline := fs.String("baseline", "", "baseline file of accepted findings to suppress")
+	updateBaseline := fs.Bool("update-baseline", false, "rewrite the -baseline file with the current findings and exit 0")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *list {
-		for _, a := range lint.All() {
-			fmt.Fprintf(stdout, "%-16s %s\n", a.Name(), a.Doc())
+		for _, r := range lint.Catalogue() {
+			fmt.Fprintf(stdout, "%-16s %s\n", r.Name, r.Doc)
 		}
 		return 0
 	}
-	analyzers, err := selectAnalyzers(*rules)
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(stderr, "iawjlint: -json and -sarif are mutually exclusive")
+		return 2
+	}
+	if *updateBaseline && *baseline == "" {
+		fmt.Fprintln(stderr, "iawjlint: -update-baseline requires -baseline FILE")
+		return 2
+	}
+	sel, err := selectRules(*rules)
 	if err != nil {
 		fmt.Fprintf(stderr, "iawjlint: %v\n", err)
 		return 2
@@ -76,51 +100,309 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "iawjlint: %v\n", err)
 		return 2
 	}
-	runner := &lint.Runner{Analyzers: analyzers}
-	findings := 0
+
+	var pkgs []*lint.Package
+	var findings []lint.Finding
+	runner := &lint.Runner{Analyzers: sel.pkg}
 	for _, dir := range dirs {
 		pkg, err := lint.Load(dir, root, *tests)
 		if err != nil {
 			fmt.Fprintf(stderr, "iawjlint: %v\n", err)
 			return 2
 		}
-		for _, f := range runner.Check(pkg) {
-			findings++
+		if pkg == nil {
+			continue
+		}
+		pkgs = append(pkgs, pkg)
+		if len(sel.pkg) > 0 {
+			findings = append(findings, runner.Check(pkg)...)
+		}
+	}
+	prog := lint.NewProgram(pkgs)
+	if len(sel.prog) > 0 {
+		pr := &lint.Runner{ProgramAnalyzers: sel.prog}
+		findings = append(findings, pr.CheckProgram(prog)...)
+	}
+	if sel.escape {
+		fs, err := (lint.EscapeGate{}).Check(root, prog, nil)
+		if err != nil {
+			fmt.Fprintf(stderr, "iawjlint: %v\n", err)
+			return 2
+		}
+		findings = append(findings, fs...)
+	}
+	sortFindings(findings)
+
+	if *baseline != "" && !*updateBaseline {
+		known, err := readBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintf(stderr, "iawjlint: %v\n", err)
+			return 2
+		}
+		var kept []lint.Finding
+		for _, f := range findings {
+			if !known[baselineKey(cwd, f)] {
+				kept = append(kept, f)
+			}
+		}
+		findings = kept
+	}
+	if *updateBaseline {
+		if err := writeBaseline(*baseline, cwd, findings); err != nil {
+			fmt.Fprintf(stderr, "iawjlint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "iawjlint: baselined %d finding(s) to %s\n", len(findings), *baseline)
+		return 0
+	}
+
+	switch {
+	case *jsonOut:
+		writeJSON(stdout, cwd, findings)
+	case *sarifOut:
+		writeSARIF(stdout, cwd, findings)
+	default:
+		for _, f := range findings {
 			fmt.Fprintf(stdout, "%s:%d:%d: %s [%s]: %s\n",
 				relPath(cwd, f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Sev, f.Rule, f.Msg)
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(stderr, "iawjlint: %d finding(s)\n", findings)
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "iawjlint: %d finding(s)\n", len(findings))
 		return 1
 	}
 	return 0
 }
 
-// selectAnalyzers filters the registry by the -rules flag.
-func selectAnalyzers(rules string) ([]lint.Analyzer, error) {
-	all := lint.All()
+// selection is the resolved -rules flag: which per-package analyzers,
+// which whole-program analyzers, and whether the escapegate build stage
+// runs.
+type selection struct {
+	pkg    []lint.Analyzer
+	prog   []lint.ProgramAnalyzer
+	escape bool
+}
+
+// selectRules filters the full catalogue by the -rules flag. An unknown
+// name is a usage error and carries the catalogue so the caller does not
+// have to run -list separately.
+func selectRules(rules string) (selection, error) {
 	if rules == "" {
-		return all, nil
+		return selection{pkg: lint.All(), prog: lint.AllProgram(), escape: true}, nil
 	}
 	byName := map[string]lint.Analyzer{}
-	for _, a := range all {
+	for _, a := range lint.All() {
 		byName[a.Name()] = a
 	}
-	var out []lint.Analyzer
+	progByName := map[string]lint.ProgramAnalyzer{}
+	for _, a := range lint.AllProgram() {
+		progByName[a.Name()] = a
+	}
+	var sel selection
 	seen := map[string]bool{}
 	for _, name := range strings.Split(rules, ",") {
 		name = strings.TrimSpace(name)
-		a, ok := byName[name]
-		if !ok {
-			return nil, fmt.Errorf("unknown rule %q (try -list)", name)
+		if seen[name] {
+			continue
 		}
-		if !seen[name] {
-			seen[name] = true
-			out = append(out, a)
+		seen[name] = true
+		switch {
+		case byName[name] != nil:
+			sel.pkg = append(sel.pkg, byName[name])
+		case progByName[name] != nil:
+			sel.prog = append(sel.prog, progByName[name])
+		case name == (lint.EscapeGate{}).Name():
+			sel.escape = true
+		default:
+			return selection{}, fmt.Errorf("unknown rule %q; available rules: %s",
+				name, strings.Join(lint.RuleNames(), ", "))
 		}
 	}
-	return out, nil
+	return sel, nil
+}
+
+// sortFindings orders the combined report by position then rule, matching
+// the engine's per-run order across analyzer classes.
+func sortFindings(out []lint.Finding) {
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Rule < out[j].Rule
+	})
+}
+
+// jsonFinding is the machine-readable schema, pinned by the golden test.
+type jsonFinding struct {
+	Rule     string `json:"rule"`
+	Severity string `json:"severity"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+// jsonReport is the -json document: schema version, findings, count.
+type jsonReport struct {
+	Version  int           `json:"version"`
+	Findings []jsonFinding `json:"findings"`
+	Count    int           `json:"count"`
+}
+
+func writeJSON(w io.Writer, cwd string, findings []lint.Finding) {
+	rep := jsonReport{Version: 1, Findings: []jsonFinding{}, Count: len(findings)}
+	for _, f := range findings {
+		rep.Findings = append(rep.Findings, jsonFinding{
+			Rule:     f.Rule,
+			Severity: f.Sev.String(),
+			File:     relPath(cwd, f.Pos.Filename),
+			Line:     f.Pos.Line,
+			Column:   f.Pos.Column,
+			Message:  f.Msg,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(rep)
+}
+
+// SARIF 2.1.0 subset: one run, the rule catalogue as reportingDescriptors,
+// one result per finding.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+func writeSARIF(w io.Writer, cwd string, findings []lint.Finding) {
+	var rules []sarifRule
+	for _, r := range lint.Catalogue() {
+		rules = append(rules, sarifRule{ID: r.Name, ShortDescription: sarifText{Text: r.Doc}})
+	}
+	results := []sarifResult{}
+	for _, f := range findings {
+		level := "warning"
+		if f.Sev == lint.Error {
+			level = "error"
+		}
+		results = append(results, sarifResult{
+			RuleID:  f.Rule,
+			Level:   level,
+			Message: sarifText{Text: f.Msg},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: relPath(cwd, f.Pos.Filename)},
+				Region:           sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
+			}}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: sarifDriver{Name: "iawjlint", Rules: rules}}, Results: results}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(log)
+}
+
+// baselineKey identifies a finding across line drift: rule, file, and
+// message, but not position.
+func baselineKey(cwd string, f lint.Finding) string {
+	return f.Rule + "\t" + relPath(cwd, f.Pos.Filename) + "\t" + f.Msg
+}
+
+// readBaseline loads the accepted-finding keys, one per line.
+func readBaseline(path string) (map[string]bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	keys := map[string]bool{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimRight(sc.Text(), "\r\n")
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		keys[line] = true
+	}
+	return keys, sc.Err()
+}
+
+// writeBaseline records the current findings' keys, sorted and deduped.
+func writeBaseline(path, cwd string, findings []lint.Finding) error {
+	seen := map[string]bool{}
+	var keys []string
+	for _, f := range findings {
+		k := baselineKey(cwd, f)
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString("# iawjlint baseline: rule<TAB>file<TAB>message, one accepted finding per line.\n")
+	for _, k := range keys {
+		b.WriteString(k + "\n")
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
 }
 
 // resolve expands patterns into package directories.

@@ -2,8 +2,10 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -39,9 +41,12 @@ func TestGolden(t *testing.T) {
 }
 
 // TestEachRuleTripsNonZero is the acceptance criterion: every rule, run
-// alone, must exit non-zero on its seeded fixture violation.
+// alone, must exit non-zero on its seeded fixture violation. escapegate
+// is absent because its positive control lives outside the fixture
+// package (internal/lint's TestEscapeGateFixture builds escfixture with
+// -m=2); `go build ./...` never compiles testdata.
 func TestEachRuleTripsNonZero(t *testing.T) {
-	for _, rule := range []string{"determinism", "lockdiscipline", "goroutineleak", "hotpathalloc", "panicpolicy", "tracering"} {
+	for _, rule := range []string{"determinism", "lockdiscipline", "goroutineleak", "hotpathalloc", "panicpolicy", "tracering", "lockorder", "falseshare"} {
 		t.Run(rule, func(t *testing.T) {
 			var out, errs bytes.Buffer
 			code := run([]string{"-rules", rule, fixture}, &out, &errs)
@@ -64,7 +69,8 @@ func TestRepoTreeExitsZero(t *testing.T) {
 	}
 }
 
-// TestUnknownRule rejects typos instead of silently linting nothing.
+// TestUnknownRule rejects typos instead of silently linting nothing, and
+// must name the available rules so the caller need not run -list.
 func TestUnknownRule(t *testing.T) {
 	var out, errs bytes.Buffer
 	if code := run([]string{"-rules", "nosuchrule", fixture}, &out, &errs); code != 2 {
@@ -72,6 +78,11 @@ func TestUnknownRule(t *testing.T) {
 	}
 	if !strings.Contains(errs.String(), "unknown rule") {
 		t.Errorf("stderr = %q, want unknown-rule error", errs.String())
+	}
+	for _, rule := range []string{"determinism", "hotpathalloc", "lockorder", "falseshare", "escapegate"} {
+		if !strings.Contains(errs.String(), rule) {
+			t.Errorf("unknown-rule error does not list %s: %q", rule, errs.String())
+		}
 	}
 }
 
@@ -81,9 +92,141 @@ func TestListRules(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errs); code != 0 {
 		t.Fatalf("exit code = %d, want 0", code)
 	}
-	for _, rule := range []string{"determinism", "lockdiscipline", "goroutineleak", "hotpathalloc", "panicpolicy", "tracering"} {
+	for _, rule := range []string{"determinism", "lockdiscipline", "goroutineleak", "hotpathalloc", "panicpolicy", "tracering", "lockorder", "falseshare", "escapegate"} {
 		if !strings.Contains(out.String(), rule) {
 			t.Errorf("-list output missing %s:\n%s", rule, out.String())
 		}
+	}
+}
+
+// TestGoldenJSON pins the -json schema: byte-identical document over the
+// fixture package, exit 1 because findings remain findings in any format.
+func TestGoldenJSON(t *testing.T) {
+	var out, errs bytes.Buffer
+	code := run([]string{"-json", fixture}, &out, &errs)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, errs.String())
+	}
+	if *update {
+		if err := os.WriteFile("testdata/golden.json", out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	golden, err := os.ReadFile("testdata/golden.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != string(golden) {
+		t.Errorf("JSON output differs from golden (re-run with -update after reviewing):\n--- got ---\n%s--- want ---\n%s", out.String(), golden)
+	}
+	var doc struct {
+		Version  int `json:"version"`
+		Findings []struct {
+			Rule    string `json:"rule"`
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Message string `json:"message"`
+		} `json:"findings"`
+		Count int `json:"count"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if doc.Version != 1 || doc.Count != len(doc.Findings) || doc.Count == 0 {
+		t.Errorf("schema invariants violated: version=%d count=%d findings=%d", doc.Version, doc.Count, len(doc.Findings))
+	}
+}
+
+// TestSARIF checks the -sarif document shape: valid JSON, the full rule
+// catalogue under tool.driver.rules, one result per finding.
+func TestSARIF(t *testing.T) {
+	var out, errs bytes.Buffer
+	code := run([]string{"-sarif", fixture}, &out, &errs)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, errs.String())
+	}
+	var doc struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Locations []struct {
+					PhysicalLocation struct {
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid SARIF JSON: %v", err)
+	}
+	if doc.Version != "2.1.0" || len(doc.Runs) != 1 {
+		t.Fatalf("version=%q runs=%d, want 2.1.0 with one run", doc.Version, len(doc.Runs))
+	}
+	run0 := doc.Runs[0]
+	if run0.Tool.Driver.Name != "iawjlint" || len(run0.Tool.Driver.Rules) != 9 {
+		t.Errorf("driver %q with %d rules, want iawjlint with the 9-rule catalogue", run0.Tool.Driver.Name, len(run0.Tool.Driver.Rules))
+	}
+	if len(run0.Results) == 0 {
+		t.Error("no results for the seeded fixture")
+	}
+	for _, r := range run0.Results {
+		if len(r.Locations) != 1 || r.Locations[0].PhysicalLocation.Region.StartLine == 0 {
+			t.Errorf("result %s lacks a positioned location", r.RuleID)
+		}
+	}
+}
+
+// TestJSONSarifExclusive: one machine-readable format at a time.
+func TestJSONSarifExclusive(t *testing.T) {
+	var out, errs bytes.Buffer
+	if code := run([]string{"-json", "-sarif", fixture}, &out, &errs); code != 2 {
+		t.Errorf("exit code = %d, want 2", code)
+	}
+}
+
+// TestBaselineRoundTrip exercises staged adoption: -update-baseline
+// records every fixture finding, and a rerun with -baseline suppresses
+// exactly those, exiting 0.
+func TestBaselineRoundTrip(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "baseline.txt")
+	var out, errs bytes.Buffer
+	if code := run([]string{"-baseline", base, "-update-baseline", fixture}, &out, &errs); code != 0 {
+		t.Fatalf("update-baseline exit = %d, want 0 (stderr: %s)", code, errs.String())
+	}
+	out.Reset()
+	errs.Reset()
+	if code := run([]string{"-baseline", base, fixture}, &out, &errs); code != 0 {
+		t.Errorf("baselined run exit = %d, want 0\nstdout: %s", code, out.String())
+	}
+	// A baseline for one rule must not swallow the others.
+	if err := os.WriteFile(base, []byte("# only tracering accepted\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errs.Reset()
+	if code := run([]string{"-baseline", base, fixture}, &out, &errs); code != 1 {
+		t.Errorf("near-empty baseline exit = %d, want 1", code)
+	}
+}
+
+// TestUpdateBaselineRequiresPath: -update-baseline without -baseline is a
+// usage error.
+func TestUpdateBaselineRequiresPath(t *testing.T) {
+	var out, errs bytes.Buffer
+	if code := run([]string{"-update-baseline", fixture}, &out, &errs); code != 2 {
+		t.Errorf("exit code = %d, want 2", code)
 	}
 }

@@ -1,0 +1,230 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// EscapeGate turns the runtime AllocsPerRun==0 guarantee of the
+// //iawj:hotpath kernels into a static one: it runs the real compiler's
+// escape analysis (`go build -gcflags=-m=2`), parses the heap-allocation
+// diagnostics, and fails when any annotated hotpath function allocates
+// inside one of its loops — every hotpath, not just the ones with an
+// allocation test. A per-tuple heap allocation turns a memory-bound
+// kernel GC-bound and skews every reproduced figure, which is exactly
+// what the paper's scalability claims cannot survive.
+//
+// Scope matches hotpathalloc's loop rules: only allocations positioned
+// inside a for/range body (per-iteration — the per-tuple/per-batch
+// hazard) fail the gate. Straight-line setup in an annotated Run function
+// (a barrier WaitGroup, per-thread slices, the worker closures handed to
+// parallel) allocates once per run by design and is exempt.
+//
+// Unlike the AST analyzers this is a driver stage: it shells out to the
+// go tool (diagnostics replay from the build cache, so repeat runs are
+// cheap) and anchors diagnostics to hotpath function spans parsed from
+// the loaded program. `//lint:allow escapegate <reason>` on or above the
+// allocation line suppresses a finding, as does the path allowlist.
+type EscapeGate struct {
+	// GoTool overrides the go executable; empty means "go" from PATH.
+	GoTool string
+}
+
+// Name implements the rule catalogue.
+func (EscapeGate) Name() string { return "escapegate" }
+
+// Doc implements the rule catalogue.
+func (EscapeGate) Doc() string {
+	return "no heap allocation in //iawj:hotpath functions, proven by go build -gcflags=-m=2"
+}
+
+// Severity implements the rule catalogue.
+func (EscapeGate) Severity() Severity { return Error }
+
+// EscapeDiag is one heap-allocation diagnostic from the compiler.
+type EscapeDiag struct {
+	File string // as printed (relative to the build directory)
+	Line int
+	Col  int
+	Msg  string
+}
+
+// diagRe matches compiler diagnostic lines: file.go:line:col: message.
+var diagRe = regexp.MustCompile(`^(.*\.go):(\d+):(\d+): (.*)$`)
+
+// allocRe matches the messages that report an actual heap allocation.
+// "leaking param", "can inline", flow-explanation lines and friends do
+// not allocate and are excluded.
+var allocRe = regexp.MustCompile(`^(.*escapes to heap:?|moved to heap: .*)$`)
+
+// ParseEscapeOutput extracts heap-allocation diagnostics from the stderr
+// of `go build -gcflags=-m=2`. The compiler emits the same diagnostic
+// once per build unit that compiles the package (binary, test import,
+// ...), so duplicates are collapsed.
+func ParseEscapeOutput(out string) []EscapeDiag {
+	var diags []EscapeDiag
+	seen := map[EscapeDiag]bool{}
+	for _, line := range strings.Split(out, "\n") {
+		m := diagRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		if strings.HasPrefix(msg, " ") || !allocRe.MatchString(msg) {
+			continue
+		}
+		ln, err1 := strconv.Atoi(m[2])
+		col, err2 := strconv.Atoi(m[3])
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		d := EscapeDiag{File: m[1], Line: ln, Col: col, Msg: strings.TrimSuffix(msg, ":")}
+		if seen[d] {
+			continue
+		}
+		seen[d] = true
+		diags = append(diags, d)
+	}
+	return diags
+}
+
+// HotSpan is the extent of one //iawj:hotpath function, plus the line
+// ranges of every for/range body inside it (including bodies of nested
+// closures — a worker FuncLit's probe loop is still the hot loop).
+type HotSpan struct {
+	Name      string
+	File      string // absolute path
+	StartLine int
+	EndLine   int
+	Loops     [][2]int // inclusive [start,end] line ranges of loop bodies
+}
+
+// inLoop reports whether a line falls inside one of the span's loop bodies.
+func (s HotSpan) inLoop(line int) bool {
+	for _, r := range s.Loops {
+		if line >= r[0] && line <= r[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// HotPathSpans collects every annotated function's span in the program.
+func HotPathSpans(prog *Program) []HotSpan {
+	var spans []HotSpan
+	for _, p := range prog.Packages {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil || !isHotPath(fn) {
+					continue
+				}
+				start := p.Fset.Position(fn.Pos())
+				end := p.Fset.Position(fn.End())
+				name := fn.Name.Name
+				if r := recvTypeName(fn); r != "" {
+					name = r + "." + name
+				}
+				var loops [][2]int
+				ast.Inspect(fn.Body, func(n ast.Node) bool {
+					var body *ast.BlockStmt
+					switch s := n.(type) {
+					case *ast.ForStmt:
+						body = s.Body
+					case *ast.RangeStmt:
+						body = s.Body
+					default:
+						return true
+					}
+					loops = append(loops, [2]int{p.Fset.Position(body.Pos()).Line, p.Fset.Position(body.End()).Line})
+					return true
+				})
+				spans = append(spans, HotSpan{Name: name, File: start.Filename, StartLine: start.Line, EndLine: end.Line, Loops: loops})
+			}
+		}
+	}
+	return spans
+}
+
+// MatchEscapes anchors allocation diagnostics (paths relative to root) to
+// hotpath spans, returning one finding per allocation that sits inside a
+// loop body of a span. Allocations in the straight-line part of a hotpath
+// function are per-run setup (barriers, worker closures, per-thread
+// output slices) and pass the gate; the AllocsPerRun contract the gate
+// enforces is about the per-iteration path.
+func MatchEscapes(root string, diags []EscapeDiag, spans []HotSpan) []Finding {
+	var out []Finding
+	for _, d := range diags {
+		file := d.File
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(root, file)
+		}
+		for _, s := range spans {
+			if s.File != file || d.Line < s.StartLine || d.Line > s.EndLine || !s.inLoop(d.Line) {
+				continue
+			}
+			out = append(out, Finding{
+				Rule: "escapegate",
+				Sev:  Error,
+				Pos:  positionAt(file, d.Line, d.Col),
+				Msg:  fmt.Sprintf("%s is //iawj:hotpath but heap-allocates in a loop: %s (escape analysis; hoist the allocation or take it from the pool)", s.Name, d.Msg),
+			})
+			break
+		}
+	}
+	return out
+}
+
+// Check runs the full gate over the module at root: build every package,
+// parse the escape diagnostics, and report allocations inside hotpath
+// functions of the loaded program, after the standard escape hatches.
+func (g EscapeGate) Check(root string, prog *Program, pathAllow map[string][]string) ([]Finding, error) {
+	tool := g.GoTool
+	if tool == "" {
+		tool = "go"
+	}
+	cmd := exec.Command(tool, "build", "-gcflags=-m=2", "./...")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("escapegate: go build -gcflags=-m=2 failed: %v\n%s", err, out)
+	}
+	findings := MatchEscapes(root, ParseEscapeOutput(string(out)), HotPathSpans(prog))
+	if pathAllow == nil {
+		pathAllow = DefaultPathAllow
+	}
+	var kept []Finding
+	for _, f := range findings {
+		if p := packageOf(prog, f.Pos.Filename); p != nil {
+			if pathAllowed(pathAllow, f.Rule, p.Rel) || allowed(p.allows(), f.Rule, f.Pos) {
+				continue
+			}
+		}
+		kept = append(kept, f)
+	}
+	sortFindings(kept)
+	return kept, nil
+}
+
+// packageOf finds the loaded package containing a file.
+func packageOf(prog *Program, filename string) *Package {
+	dir := filepath.Dir(filename)
+	for _, p := range prog.Packages {
+		if p.Dir == dir {
+			return p
+		}
+	}
+	return nil
+}
+
+// positionAt fabricates a token.Position for diagnostics that originate
+// outside the loader's FileSet (the compiler's output).
+func positionAt(file string, line, col int) token.Position {
+	return token.Position{Filename: file, Line: line, Column: col}
+}

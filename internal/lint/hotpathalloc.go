@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 	"strings"
 )
 
@@ -23,7 +24,12 @@ import (
 //     eliminate; hoist the closure before the loop or use
 //     InsertBatch/ProbeBatch);
 //   - make of a slice inside a loop (per-iteration scratch; allocate the
-//     scratch once before the loop or take it from the window pool).
+//     scratch once before the loop or take it from the window pool);
+//   - non-constant string concatenation inside a loop (+ or += on
+//     strings builds a fresh backing array per iteration);
+//   - an argument implicitly converted to an interface parameter inside a
+//     loop (boxing a concrete value allocates; only calls whose callee
+//     signature resolves locally are checked).
 //
 // Appends to locally declared buffers are the kernels' bread and butter
 // and are not flagged, nor are closures and slice makes that run once,
@@ -37,7 +43,7 @@ func (HotPathAlloc) Name() string { return "hotpathalloc" }
 
 // Doc implements Analyzer.
 func (HotPathAlloc) Doc() string {
-	return "no captured-slice append, fmt.Sprintf, map creation, or per-loop closure/scratch allocation in //iawj:hotpath functions"
+	return "no captured-slice append, fmt.Sprintf, map creation, or per-loop closure/scratch/string/interface-boxing allocation in //iawj:hotpath functions"
 }
 
 // Severity implements Analyzer.
@@ -101,6 +107,11 @@ func (HotPathAlloc) checkHotFunc(p *Package, fn *ast.FuncDecl, imports map[strin
 				flag(n.Pos(), fmt.Sprintf("fmt.%s allocates in a //iawj:hotpath function", name))
 				return true
 			}
+			if inLoop(n.Pos()) {
+				for _, pos := range boxedArgs(p, n) {
+					flag(pos, "implicit interface conversion inside a loop in a //iawj:hotpath function; boxing the argument allocates, pass a concrete type or hoist the call")
+				}
+			}
 			switch fun := n.Fun.(type) {
 			case *ast.Ident:
 				switch fun.Name {
@@ -121,6 +132,15 @@ func (HotPathAlloc) checkHotFunc(p *Package, fn *ast.FuncDecl, imports map[strin
 		case *ast.FuncLit:
 			if inLoop(n.Pos()) {
 				flag(n.Pos(), "closure constructed inside a loop in a //iawj:hotpath function; hoist it or use the batched kernel APIs")
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && inLoop(n.Pos()) && isStringExpr(p, n) && !isConstExpr(p, n) {
+				flag(n.Pos(), "string concatenation inside a loop in a //iawj:hotpath function; each iteration copies a fresh backing array")
+				return false // the operands of a nested a+b+c are the same concatenation
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && inLoop(n.Pos()) && len(n.Lhs) == 1 && isStringExpr(p, n.Lhs[0]) {
+				flag(n.Pos(), "string concatenation inside a loop in a //iawj:hotpath function; each iteration copies a fresh backing array")
 			}
 		case *ast.CompositeLit:
 			if _, isMap := n.Type.(*ast.MapType); isMap {
@@ -159,6 +179,89 @@ func loopRanges(root ast.Node) func(token.Pos) bool {
 		}
 		return false
 	}
+}
+
+// isStringExpr reports whether the expression's resolved static type has
+// underlying type string. Unresolved types (cross-package under the stub
+// importer) report false — conservative.
+func isStringExpr(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isConstExpr reports whether the expression folds to a constant (a
+// constant concatenation is materialized at compile time, not per
+// iteration).
+func isConstExpr(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// boxedArgs returns the positions of call arguments that a locally
+// resolvable callee signature implicitly converts to an interface type —
+// each such call boxes the concrete value on the heap. Calls into stub
+// imports have invalid signatures and are skipped (conservative under
+// partial type information); nil and already-interface arguments do not
+// box.
+func boxedArgs(p *Package, call *ast.CallExpr) []token.Pos {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	obj := p.Info.Uses[id]
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params() == nil {
+		return nil
+	}
+	// Ellipsis calls (f(xs...)) pass the slice through without boxing.
+	if call.Ellipsis.IsValid() {
+		return nil
+	}
+	var out []token.Pos
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			s, ok := sig.Params().At(np - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = s.Elem()
+		case i < np:
+			pt = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		tv, ok := p.Info.Types[arg]
+		if !ok || tv.Type == nil || tv.IsNil() {
+			continue
+		}
+		if b, isBasic := tv.Type.Underlying().(*types.Basic); isBasic && (b.Kind() == types.Invalid || b.Info()&types.IsUntyped != 0) {
+			continue
+		}
+		if types.IsInterface(tv.Type) {
+			continue
+		}
+		out = append(out, arg.Pos())
+	}
+	return out
 }
 
 // capturedTarget reports whether the append target's root identifier is

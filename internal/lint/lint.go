@@ -68,7 +68,21 @@ type Analyzer interface {
 	Check(p *Package) []Finding
 }
 
-// All returns every analyzer in reporting order.
+// ProgramAnalyzer is a rule that needs the whole program at once —
+// callgraphs, cross-package type layouts — rather than one package at a
+// time.
+type ProgramAnalyzer interface {
+	// Name is the rule identifier used by //lint:allow and -rules.
+	Name() string
+	// Doc is a one-line description for the driver's -help output.
+	Doc() string
+	// Severity is the default rank of this rule's findings.
+	Severity() Severity
+	// CheckProgram reports the rule's findings over every package.
+	CheckProgram(prog *Program) []Finding
+}
+
+// All returns every per-package analyzer in reporting order.
 func All() []Analyzer {
 	return []Analyzer{
 		Determinism{},
@@ -78,6 +92,44 @@ func All() []Analyzer {
 		PanicPolicy{},
 		TraceRing{},
 	}
+}
+
+// AllProgram returns every whole-program analyzer in reporting order.
+func AllProgram() []ProgramAnalyzer {
+	return []ProgramAnalyzer{
+		LockOrder{},
+		NewFalseShare(),
+	}
+}
+
+// RuleInfo is one catalogue entry for -list and error messages.
+type RuleInfo struct {
+	Name string
+	Doc  string
+}
+
+// Catalogue lists every rule the driver can run: per-package analyzers,
+// whole-program analyzers, and the escapegate build stage.
+func Catalogue() []RuleInfo {
+	var out []RuleInfo
+	for _, a := range All() {
+		out = append(out, RuleInfo{a.Name(), a.Doc()})
+	}
+	for _, a := range AllProgram() {
+		out = append(out, RuleInfo{a.Name(), a.Doc()})
+	}
+	g := EscapeGate{}
+	out = append(out, RuleInfo{g.Name(), g.Doc()})
+	return out
+}
+
+// RuleNames returns the catalogue names, for "unknown rule" errors.
+func RuleNames() []string {
+	var names []string
+	for _, r := range Catalogue() {
+		names = append(names, r.Name)
+	}
+	return names
 }
 
 // DefaultPathAllow maps rule name to slash-separated path prefixes
@@ -161,8 +213,10 @@ func Load(dir, root string, includeTests bool) (*Package, error) {
 		Fset:  fset,
 		Files: files,
 		Info: &types.Info{
-			Defs: map[*ast.Ident]types.Object{},
-			Uses: map[*ast.Ident]types.Object{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
 		},
 	}
 	conf := types.Config{
@@ -174,6 +228,77 @@ func Load(dir, root string, includeTests bool) (*Package, error) {
 	// imported names cannot, so its error is expected and discarded.
 	conf.Check(p.Rel, fset, files, p.Info)
 	return p, nil
+}
+
+// Program is the whole-program view: every loaded package, indexed by its
+// module-relative path. Whole-program analyzers (lockorder, falseshare)
+// resolve cross-package references through it.
+type Program struct {
+	// Packages holds the loaded packages in Rel order.
+	Packages []*Package
+
+	byRel map[string]*Package
+}
+
+// NewProgram assembles a Program from loaded packages (nils are skipped).
+func NewProgram(pkgs []*Package) *Program {
+	prog := &Program{byRel: map[string]*Package{}}
+	for _, p := range pkgs {
+		if p == nil {
+			continue
+		}
+		prog.Packages = append(prog.Packages, p)
+		prog.byRel[p.Rel] = p
+	}
+	sort.Slice(prog.Packages, func(i, j int) bool { return prog.Packages[i].Rel < prog.Packages[j].Rel })
+	return prog
+}
+
+// ByRel returns the package with the given module-relative path, or nil.
+func (prog *Program) ByRel(rel string) *Package {
+	if prog == nil {
+		return nil
+	}
+	return prog.byRel[rel]
+}
+
+// ByImportPath resolves an import path to a loaded package by matching the
+// path's module-relative suffix (the module name prefix is unknown to the
+// loader, so "repro/internal/tuple" matches the package at Rel
+// "internal/tuple"). Stdlib and unloaded paths return nil.
+func (prog *Program) ByImportPath(path string) *Package {
+	if prog == nil {
+		return nil
+	}
+	for {
+		if p, ok := prog.byRel[path]; ok {
+			return p
+		}
+		i := strings.Index(path, "/")
+		if i < 0 {
+			return nil
+		}
+		path = path[i+1:]
+	}
+}
+
+// LoadProgram loads every package directory under root into a Program.
+func LoadProgram(root string, includeTests bool) (*Program, error) {
+	dirs, err := Walk(root)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		p, err := Load(dir, root, includeTests)
+		if err != nil {
+			return nil, err
+		}
+		if p != nil {
+			pkgs = append(pkgs, p)
+		}
+	}
+	return NewProgram(pkgs), nil
 }
 
 // Walk returns every package directory under root, skipping testdata,
@@ -264,6 +389,8 @@ func pathAllowed(pathAllow map[string][]string, rule, rel string) bool {
 // Runner applies a set of analyzers with the escape-hatch filters.
 type Runner struct {
 	Analyzers []Analyzer
+	// ProgramAnalyzers feeds CheckProgram; nil selects AllProgram.
+	ProgramAnalyzers []ProgramAnalyzer
 	// PathAllow overrides DefaultPathAllow when non-nil.
 	PathAllow map[string][]string
 }
@@ -295,6 +422,55 @@ func (r *Runner) Check(p *Package) []Finding {
 			out = append(out, f)
 		}
 	}
+	sortFindings(out)
+	return out
+}
+
+// CheckProgram runs every whole-program analyzer over the program and
+// returns the surviving findings sorted by position. The per-package
+// escape hatches apply: a finding positioned in package P is dropped when
+// P's path allowlist covers the rule or an allow comment covers the line.
+func (r *Runner) CheckProgram(prog *Program) []Finding {
+	if prog == nil || len(prog.Packages) == 0 {
+		return nil
+	}
+	analyzers := r.ProgramAnalyzers
+	if analyzers == nil {
+		analyzers = AllProgram()
+	}
+	pathAllow := r.PathAllow
+	if pathAllow == nil {
+		pathAllow = DefaultPathAllow
+	}
+	// Index every package's allow comments and directory so each finding
+	// can be attributed to the package that contains it.
+	type pkgFilter struct {
+		rel    string
+		allows map[string]map[int][]string
+	}
+	byDir := map[string]pkgFilter{}
+	for _, p := range prog.Packages {
+		byDir[p.Dir] = pkgFilter{rel: p.Rel, allows: p.allows()}
+	}
+	var out []Finding
+	for _, a := range analyzers {
+		for _, f := range a.CheckProgram(prog) {
+			pf, ok := byDir[filepath.Dir(f.Pos.Filename)]
+			if ok {
+				if pathAllowed(pathAllow, f.Rule, pf.rel) || allowed(pf.allows, f.Rule, f.Pos) {
+					continue
+				}
+			}
+			out = append(out, f)
+		}
+	}
+	sortFindings(out)
+	return out
+}
+
+// sortFindings orders findings by position then rule, the driver's stable
+// report order.
+func sortFindings(out []Finding) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Pos, out[j].Pos
 		if a.Filename != b.Filename {
@@ -308,7 +484,6 @@ func (r *Runner) Check(p *Package) []Finding {
 		}
 		return out[i].Rule < out[j].Rule
 	})
-	return out
 }
 
 // importNames maps each file-local import name to its import path,

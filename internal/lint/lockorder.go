@@ -1,0 +1,666 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder is the whole-program deadlock analyzer. It builds a callgraph
+// over every loaded package, summarizes which locks each function
+// acquires (sync.Mutex/RWMutex methods, including the per-bucket latches
+// in internal/hashtable), propagates held-lock sets through call chains,
+// and reports:
+//
+//   - lock-order cycles: lock A is (possibly transitively) acquired while
+//     B is held on one path and B while A is held on another — the classic
+//     ABBA deadlock -race only catches when the interleaving happens to
+//     occur;
+//   - recursive acquisition: a call chain re-acquires a lock the caller
+//     already holds (Go mutexes are not reentrant);
+//   - locks held across blocking operations: channel send/receive, select
+//     without default, Wait calls, time.Sleep, and clock-gating busy-wait
+//     loops (for-loops conditioned on clock Avail/NowMs). A latch held
+//     across a blocking point stalls every worker contending for it, and
+//     deadlocks outright when the unblocking party needs the latch.
+//
+// Lock identity is the owning struct type plus field name
+// (e.g. "internal/hashtable.Shared.freeMu"), resolved through the
+// package's best-effort type information; locals fall back to a
+// function-scoped name. Identity is per type, not per instance, so the
+// analyzer intentionally does not flag two different instances of the same
+// type locked in sequence by distinct syntactic receivers (lock-coupling
+// patterns); a direct re-lock of the identical expression is flagged.
+type LockOrder struct{}
+
+// Name implements ProgramAnalyzer.
+func (LockOrder) Name() string { return "lockorder" }
+
+// Doc implements ProgramAnalyzer.
+func (LockOrder) Doc() string {
+	return "no lock-order cycles, recursive acquisition, or locks held across blocking ops (interprocedural)"
+}
+
+// Severity implements ProgramAnalyzer.
+func (LockOrder) Severity() Severity { return Error }
+
+// loFuncID identifies one function declaration program-wide.
+type loFuncID struct {
+	pkg  string // Package.Rel
+	recv string // receiver type name, "" for plain functions
+	name string
+}
+
+func (id loFuncID) String() string {
+	if id.recv != "" {
+		return id.pkg + "." + id.recv + "." + id.name
+	}
+	return id.pkg + "." + id.name
+}
+
+// loCall is one call site with the lock set held when it executes.
+type loCall struct {
+	callees []loFuncID
+	held    []string
+	pos     token.Pos
+}
+
+// loBlock is one synchronous blocking operation and the locks held there;
+// msg, when set, overrides the standard held-across phrasing.
+type loBlock struct {
+	desc string
+	held []string
+	pos  token.Pos
+	msg  string
+}
+
+// loEdge is one observed acquisition order: to was acquired while from was
+// held.
+type loEdge struct {
+	from, to string
+	pos      token.Pos
+	fset     *token.FileSet
+}
+
+// loSummary is one function's lock behaviour.
+type loSummary struct {
+	id       loFuncID
+	pkg      *Package
+	acquires map[string]bool // locks acquired synchronously in the body
+	blocks   bool            // body contains a synchronous blocking op
+	calls    []loCall
+	edges    []loEdge
+	blockOps []loBlock
+}
+
+// CheckProgram implements ProgramAnalyzer.
+func (lo LockOrder) CheckProgram(prog *Program) []Finding {
+	sums, order := lo.summarize(prog)
+	lo.propagate(sums, order)
+
+	var findings []Finding
+	var edges []loEdge
+	for _, id := range order {
+		s := sums[id]
+		edges = append(edges, s.edges...)
+		// Direct blocking ops under a held lock.
+		for _, b := range s.blockOps {
+			msg := b.msg
+			if msg == "" {
+				msg = fmt.Sprintf("%s held across %s; unlock first or restructure (blocks every contender, deadlocks if the unblocking party needs the lock)", strings.Join(b.held, ", "), b.desc)
+			}
+			findings = append(findings, Finding{
+				Rule: "lockorder",
+				Sev:  Error,
+				Pos:  s.pkg.Fset.Position(b.pos),
+				Msg:  msg,
+			})
+		}
+		// Interprocedural: calls made with locks held.
+		for _, c := range s.calls {
+			if len(c.held) == 0 {
+				continue
+			}
+			for _, calleeID := range c.callees {
+				callee := sums[calleeID]
+				if callee == nil {
+					continue
+				}
+				if callee.blocks {
+					findings = append(findings, Finding{
+						Rule: "lockorder",
+						Sev:  Error,
+						Pos:  s.pkg.Fset.Position(c.pos),
+						Msg:  fmt.Sprintf("%s held across call to %s, which may block; unlock first or restructure", strings.Join(c.held, ", "), calleeID),
+					})
+				}
+				for acq := range callee.acquires {
+					for _, h := range c.held {
+						if h == acq {
+							findings = append(findings, Finding{
+								Rule: "lockorder",
+								Sev:  Error,
+								Pos:  s.pkg.Fset.Position(c.pos),
+								Msg:  fmt.Sprintf("call to %s re-acquires %s already held here; Go mutexes are not reentrant (self-deadlock)", calleeID, h),
+							})
+							continue
+						}
+						edges = append(edges, loEdge{from: h, to: acq, pos: c.pos, fset: s.pkg.Fset})
+					}
+				}
+			}
+		}
+	}
+	findings = append(findings, lo.cycles(edges)...)
+	return findings
+}
+
+// summarize builds per-function summaries for every package, returning
+// them with a deterministic traversal order.
+func (lo LockOrder) summarize(prog *Program) (map[loFuncID]*loSummary, []loFuncID) {
+	sums := map[loFuncID]*loSummary{}
+	var order []loFuncID
+	byMethod := map[string][]loFuncID{}
+	for _, p := range prog.Packages {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				id := loFuncID{pkg: p.Rel, recv: recvTypeName(fn), name: fn.Name.Name}
+				s := &loSummary{id: id, pkg: p, acquires: map[string]bool{}}
+				sums[id] = s
+				order = append(order, id)
+				if id.recv != "" {
+					byMethod[id.name] = append(byMethod[id.name], id)
+				}
+			}
+		}
+	}
+	for _, p := range prog.Packages {
+		for _, f := range p.Files {
+			imports := importNames(f)
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				id := loFuncID{pkg: p.Rel, recv: recvTypeName(fn), name: fn.Name.Name}
+				w := &loWalker{
+					prog: prog, p: p, imports: imports,
+					fnName: funcScopeName(id), sum: sums[id],
+					sums: sums, byMethod: byMethod,
+				}
+				w.walkBody(fn.Body, nil, false)
+			}
+		}
+	}
+	return sums, order
+}
+
+// propagate closes acquires and blocks over the callgraph: a function
+// acquires (may block on) whatever its synchronous callees acquire (block
+// on). Fixpoint iteration; the graph is small.
+func (LockOrder) propagate(sums map[loFuncID]*loSummary, order []loFuncID) {
+	for changed := true; changed; {
+		changed = false
+		for _, id := range order {
+			s := sums[id]
+			for _, c := range s.calls {
+				for _, calleeID := range c.callees {
+					callee := sums[calleeID]
+					if callee == nil || callee == s {
+						continue
+					}
+					if callee.blocks && !s.blocks {
+						s.blocks = true
+						changed = true
+					}
+					for acq := range callee.acquires {
+						if !s.acquires[acq] {
+							s.acquires[acq] = true
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// cycles finds strongly connected components in the acquisition-order
+// graph and reports one finding per cycle, anchored at the lexically first
+// participating edge.
+func (LockOrder) cycles(edges []loEdge) []Finding {
+	adj := map[string]map[string]loEdge{}
+	var nodes []string
+	addNode := func(n string) {
+		if _, ok := adj[n]; !ok {
+			adj[n] = map[string]loEdge{}
+			nodes = append(nodes, n)
+		}
+	}
+	for _, e := range edges {
+		addNode(e.from)
+		addNode(e.to)
+		if _, ok := adj[e.from][e.to]; !ok {
+			adj[e.from][e.to] = e
+		}
+	}
+	sort.Strings(nodes)
+
+	// Tarjan's SCC, iterative over sorted nodes for determinism.
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	next := 0
+	var sccs [][]string
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		var succs []string
+		for w := range adj[v] {
+			succs = append(succs, w)
+		}
+		sort.Strings(succs)
+		for _, w := range succs {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, v := range nodes {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+
+	var findings []Finding
+	for _, scc := range sccs {
+		selfLoop := len(scc) == 1 && func() bool { _, ok := adj[scc[0]][scc[0]]; return ok }()
+		if len(scc) < 2 && !selfLoop {
+			continue
+		}
+		sort.Strings(scc)
+		in := map[string]bool{}
+		for _, n := range scc {
+			in[n] = true
+		}
+		// Reconstruct one representative cycle path from the smallest
+		// node, and find the lexically first edge inside the SCC as the
+		// report anchor.
+		path := []string{scc[0]}
+		cur := scc[0]
+		for {
+			var succs []string
+			for w := range adj[cur] {
+				if in[w] {
+					succs = append(succs, w)
+				}
+			}
+			sort.Strings(succs)
+			cur = succs[0]
+			path = append(path, cur)
+			if cur == scc[0] {
+				break
+			}
+		}
+		var anchor *loEdge
+		var anchorPos token.Position
+		for _, from := range scc {
+			for to, e := range adj[from] {
+				if !in[to] {
+					continue
+				}
+				pos := e.fset.Position(e.pos)
+				if anchor == nil || lessPosition(pos, anchorPos) {
+					ec := e
+					anchor = &ec
+					anchorPos = pos
+				}
+			}
+		}
+		findings = append(findings, Finding{
+			Rule: "lockorder",
+			Sev:  Error,
+			Pos:  anchorPos,
+			Msg: fmt.Sprintf("lock-order cycle: %s; this edge acquires %s while %s is held, another path acquires them in reverse order (ABBA deadlock)",
+				strings.Join(path, " -> "), anchor.to, anchor.from),
+		})
+	}
+	return findings
+}
+
+// lessPosition orders positions file-first, for deterministic anchors.
+func lessPosition(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
+}
+
+// loWalker simulates held locks through one function body in syntactic
+// order. Branches are merged (an unlock on any path releases), mirroring
+// lockdiscipline's textual approximation, which matches the repo's style
+// of straight-line latch sections.
+type loWalker struct {
+	prog     *Program
+	p        *Package
+	imports  map[string]string
+	fnName   string
+	sum      *loSummary
+	sums     map[loFuncID]*loSummary
+	byMethod map[string][]loFuncID
+
+	held []heldLock
+}
+
+// heldLock is one currently-held acquisition.
+type heldLock struct {
+	key  string
+	expr string // printed mutex expression, for exact re-lock detection
+}
+
+// walkBody walks stmts of one body. async marks go-launched closures:
+// their held set starts empty and their acquisitions/blocking ops do not
+// count toward the enclosing function's synchronous summary, but their
+// internal ordering edges still hold program-wide.
+func (w *loWalker) walkBody(body ast.Node, held []heldLock, async bool) {
+	prevHeld := w.held
+	w.held = held
+	w.walkNode(body, async)
+	w.held = prevHeld
+}
+
+func (w *loWalker) heldKeys() []string {
+	var keys []string
+	for _, h := range w.held {
+		keys = append(keys, h.key)
+	}
+	return keys
+}
+
+func (w *loWalker) walkNode(n ast.Node, async bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// The goroutine body runs concurrently: empty held set,
+			// async summary. Call arguments evaluate synchronously but
+			// carry no lock events worth modeling here.
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				w.walkBody(lit.Body, nil, true)
+			}
+			return false
+		case *ast.DeferStmt:
+			// Deferred unlocks release at return; for held-set purposes
+			// the lock stays held for the rest of the body, so ignore.
+			return false
+		case *ast.FuncLit:
+			// Non-go closures are treated as executing inline (sort
+			// callbacks, hoisted kernels): same held set.
+			w.walkNode(n.Body, async)
+			return false
+		case *ast.SendStmt:
+			w.block("a channel send", n.Pos(), async)
+			return true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				w.block("a channel receive", n.Pos(), async)
+			}
+			return true
+		case *ast.SelectStmt:
+			blocking := true
+			for _, cl := range n.Body.List {
+				if c, ok := cl.(*ast.CommClause); ok && c.Comm == nil {
+					blocking = false // default clause: nonblocking poll
+				}
+			}
+			if blocking {
+				w.block("a select with no default", n.Pos(), async)
+			}
+			return true
+		case *ast.ForStmt:
+			if n.Cond != nil && isClockGate(n.Cond) {
+				w.block("a clock-gating busy-wait loop", n.Pos(), async)
+			}
+			return true
+		case *ast.CallExpr:
+			w.call(n, async)
+			return false // call() recurses into arguments itself
+		}
+		return true
+	})
+}
+
+// block records one synchronous blocking operation.
+func (w *loWalker) block(desc string, pos token.Pos, async bool) {
+	if !async {
+		w.sum.blocks = true
+	}
+	if len(w.held) > 0 {
+		w.sum.blockOps = append(w.sum.blockOps, loBlock{desc: desc, held: w.heldKeys(), pos: pos})
+	}
+}
+
+// call handles one call expression: lock events mutate the held set,
+// Wait/Sleep are blocking ops, everything else becomes a callgraph edge.
+func (w *loWalker) call(call *ast.CallExpr, async bool) {
+	// Arguments may contain closures and receives; walk them first.
+	for _, arg := range call.Args {
+		w.walkNode(arg, async)
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		switch sel.Sel.Name {
+		case "Lock", "RLock":
+			key, expr := w.lockKey(sel.X)
+			if !async {
+				w.sum.acquires[key] = true
+			}
+			for _, h := range w.held {
+				if h.key == key {
+					if h.expr == expr {
+						w.sum.blockOps = append(w.sum.blockOps, loBlock{
+							held: []string{key}, pos: call.Pos(),
+							msg: fmt.Sprintf("%s acquired again while already held; Go mutexes are not reentrant (self-deadlock)", key),
+						})
+					}
+					// Same type-key, different instance: lock coupling,
+					// not modeled (see type doc).
+					continue
+				}
+				w.sum.edges = append(w.sum.edges, loEdge{from: h.key, to: key, pos: call.Pos(), fset: w.p.Fset})
+			}
+			w.held = append(w.held, heldLock{key: key, expr: expr})
+			return
+		case "Unlock", "RUnlock":
+			key, _ := w.lockKey(sel.X)
+			for i := len(w.held) - 1; i >= 0; i-- {
+				if w.held[i].key == key {
+					w.held = append(w.held[:i:i], w.held[i+1:]...)
+					break
+				}
+			}
+			return
+		case "Wait":
+			w.block("a Wait call", call.Pos(), async)
+			return
+		}
+		if name, ok := pkgCall(call, w.imports, "time"); ok && name == "Sleep" {
+			w.block("time.Sleep", call.Pos(), async)
+			return
+		}
+	}
+	callees := w.resolveCallees(call)
+	if len(callees) > 0 {
+		w.sum.calls = append(w.sum.calls, loCall{callees: callees, held: w.heldKeys(), pos: call.Pos()})
+	}
+}
+
+// resolveCallees maps a call expression to candidate function summaries.
+// Resolution is best-effort and conservative: same-package functions and
+// import-qualified module functions resolve exactly; method calls resolve
+// by receiver type when the permissive check knows it, otherwise by unique
+// method name across the program (capped, to avoid promiscuous names like
+// String linking everything to everything).
+func (w *loWalker) resolveCallees(call *ast.CallExpr) []loFuncID {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id := loFuncID{pkg: w.p.Rel, name: fun.Name}
+		if _, ok := w.sums[id]; ok {
+			return []loFuncID{id}
+		}
+	case *ast.SelectorExpr:
+		if x, ok := fun.X.(*ast.Ident); ok {
+			if path, isImport := w.imports[x.Name]; isImport {
+				if obj := w.p.Info.Uses[x]; obj != nil {
+					if _, isPkg := obj.(*types.PkgName); isPkg {
+						if tp := w.prog.ByImportPath(path); tp != nil {
+							id := loFuncID{pkg: tp.Rel, name: fun.Sel.Name}
+							if _, ok := w.sums[id]; ok {
+								return []loFuncID{id}
+							}
+						}
+						return nil // stdlib or unloaded package
+					}
+				}
+			}
+		}
+		if named := namedTypeName(w.p, fun.X); named != "" {
+			id := loFuncID{pkg: w.p.Rel, recv: named, name: fun.Sel.Name}
+			if _, ok := w.sums[id]; ok {
+				return []loFuncID{id}
+			}
+		}
+		// Unresolved receiver (cross-package value): all same-name
+		// methods, capped.
+		const maxCandidates = 8
+		cands := w.byMethod[fun.Sel.Name]
+		if len(cands) > 0 && len(cands) <= maxCandidates {
+			return cands
+		}
+	}
+	return nil
+}
+
+// lockKey names the mutex behind an acquisition receiver expression. The
+// preferred identity is package.OwnerType.field; package-level vars are
+// package.var; locals fall back to a function-scoped textual name.
+func (w *loWalker) lockKey(mutex ast.Expr) (key, expr string) {
+	expr = exprString(mutex)
+	switch m := mutex.(type) {
+	case *ast.SelectorExpr:
+		if owner := namedTypeName(w.p, m.X); owner != "" {
+			return w.p.Rel + "." + owner + "." + m.Sel.Name, expr
+		}
+	case *ast.Ident:
+		obj := w.p.Info.Uses[m]
+		if obj == nil {
+			obj = w.p.Info.Defs[m]
+		}
+		if obj != nil && obj.Parent() == obj.Pkg().Scope() {
+			return w.p.Rel + "." + m.Name, expr
+		}
+	}
+	return w.p.Rel + "." + w.fnName + ":" + expr, expr
+}
+
+// namedTypeName resolves an expression's type to its named struct type,
+// unwrapping pointers; "" when the permissive check could not type it.
+func namedTypeName(p *Package, e ast.Expr) string {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	t := tv.Type
+	for {
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+			continue
+		}
+		break
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// recvTypeName extracts a method's receiver type name, "" for functions.
+func recvTypeName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return ""
+	}
+	t := fn.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.ParenExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// funcScopeName renders the function id for local-lock keys.
+func funcScopeName(id loFuncID) string {
+	if id.recv != "" {
+		return id.recv + "." + id.name
+	}
+	return id.name
+}
+
+// isClockGate reports whether a for-loop condition polls simulated time —
+// the arrival-gating busy-wait of the eager algorithms (clock.Source.Avail
+// / NowMs / NowUs). Spinning on the clock while holding a latch stalls
+// every contender for real milliseconds.
+func isClockGate(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Avail", "NowMs", "NowUs":
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// loadFixtureProgram wraps the fixture package as a one-package program
+// for the whole-program analyzers.
+func loadFixtureProgram(t *testing.T) *Program {
+	t.Helper()
+	return NewProgram([]*Package{loadFixture(t)})
+}
+
+// TestProgramAnalyzersAgainstFixtures mirrors the per-package fixture
+// table for the whole-program analyzers: each must report exactly its
+// `// want <rule>` markers. falseshare pins amd64 so the expected layout
+// does not depend on the host.
+func TestProgramAnalyzersAgainstFixtures(t *testing.T) {
+	prog := loadFixtureProgram(t)
+	table := []struct {
+		analyzer ProgramAnalyzer
+		file     string
+	}{
+		{LockOrder{}, "lockorder.go"},
+		{NewFalseShareArch("amd64"), "falseshare.go"},
+	}
+	for _, tc := range table {
+		t.Run(tc.analyzer.Name(), func(t *testing.T) {
+			runner := &Runner{ProgramAnalyzers: []ProgramAnalyzer{tc.analyzer}}
+			var got []int
+			for _, f := range runner.CheckProgram(prog) {
+				if filepath.Base(f.Pos.Filename) != tc.file {
+					continue
+				}
+				if f.Rule != tc.analyzer.Name() {
+					t.Errorf("finding carries rule %q, want %q", f.Rule, tc.analyzer.Name())
+				}
+				got = append(got, f.Pos.Line)
+			}
+			sort.Ints(got)
+			want := wantLines(t, tc.file, tc.analyzer.Name())
+			if len(want) == 0 {
+				t.Fatalf("fixture %s has no // want %s markers", tc.file, tc.analyzer.Name())
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s findings at lines %v, want %v", tc.analyzer.Name(), got, want)
+			}
+		})
+	}
+}
+
+// TestRepoProgramIsClean extends the in-process CI gate to the
+// whole-program analyzers: lockorder and falseshare must pass on the real
+// tree (fixed or justified with //lint:allow, never baselined).
+func TestRepoProgramIsClean(t *testing.T) {
+	prog, err := LoadProgram(repoRoot(t), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := &Runner{}
+	for _, f := range runner.CheckProgram(prog) {
+		t.Errorf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Msg)
+	}
+}
+
+// TestParseEscapeOutput pins the compiler-output contract: only real
+// allocation diagnostics survive, flow explanations and inliner chatter
+// are dropped, and duplicates from multiple build units collapse.
+func TestParseEscapeOutput(t *testing.T) {
+	out := strings.Join([]string{
+		"# repro/internal/hashtable",
+		"internal/hashtable/hashtable.go:152:14: &bucket{} escapes to heap:",
+		"internal/hashtable/hashtable.go:152:14:   flow: t.free = &{storage for &bucket{}}:",
+		"internal/hashtable/hashtable.go:152:14:     from &bucket{} (spill) at internal/hashtable/hashtable.go:152:14",
+		"internal/hashtable/hashtable.go:140:6: can inline (*Table).Insert",
+		"internal/hashtable/hashtable.go:139:7: leaking param: t",
+		"internal/lazy/npj.go:71:6: moved to heap: barrier",
+		"# repro/internal/lazy [repro/internal/lazy.test]",
+		"internal/lazy/npj.go:71:6: moved to heap: barrier",
+		"internal/eager/shj.go:65:13: make(map[int32]int32) escapes to heap",
+	}, "\n")
+	got := ParseEscapeOutput(out)
+	want := []EscapeDiag{
+		{File: "internal/hashtable/hashtable.go", Line: 152, Col: 14, Msg: "&bucket{} escapes to heap"},
+		{File: "internal/lazy/npj.go", Line: 71, Col: 6, Msg: "moved to heap: barrier"},
+		{File: "internal/eager/shj.go", Line: 65, Col: 13, Msg: "make(map[int32]int32) escapes to heap"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ParseEscapeOutput = %+v, want %+v", got, want)
+	}
+}
+
+// TestEscapeGateFixture is the positive control: build the seeded
+// escfixture package with -m=2 and check exactly the in-loop allocation
+// is reported — the per-run setup allocation in HotSetupOnly must pass.
+func TestEscapeGateFixture(t *testing.T) {
+	root := repoRoot(t)
+	cmd := exec.Command("go", "build", "-gcflags=-m=2", "./internal/lint/testdata/src/escfixture")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build escfixture: %v\n%s", err, out)
+	}
+	pkg, err := Load(filepath.Join(root, "internal", "lint", "testdata", "src", "escfixture"), root, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := HotPathSpans(NewProgram([]*Package{pkg}))
+	if len(spans) != 2 {
+		t.Fatalf("expected 2 hotpath spans in escfixture, got %+v", spans)
+	}
+	findings := MatchEscapes(root, ParseEscapeOutput(string(out)), spans)
+	if len(findings) != 1 {
+		t.Fatalf("expected exactly 1 escapegate finding, got %+v", findings)
+	}
+	f := findings[0]
+	if !strings.Contains(f.Msg, "HotLeaky") || !strings.Contains(f.Msg, "new([8]int)") {
+		t.Errorf("finding does not name the leaky hotpath: %s", f.Msg)
+	}
+	if filepath.Base(f.Pos.Filename) != "escfixture.go" {
+		t.Errorf("finding in %s, want escfixture.go", f.Pos.Filename)
+	}
+}
+
+// TestEscapeGateRepoTree runs the full driver stage over the module: the
+// annotated kernels must not allocate in their loops.
+func TestEscapeGateRepoTree(t *testing.T) {
+	root := repoRoot(t)
+	prog, err := LoadProgram(root, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := (EscapeGate{}).Check(root, prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Msg)
+	}
+}

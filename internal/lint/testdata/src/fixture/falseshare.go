@@ -1,0 +1,52 @@
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Seeded positive controls for the falseshare layout analyzer: a
+// deliberately false-shared per-worker slot used as a slice element
+// (Rule A) and a struct coupling a latch and an atomic on one cache line
+// (Rule B), next to padded variants that must stay quiet.
+
+type hotSlot struct { // want falseshare
+	n   atomic.Int64
+	pad [8]byte
+}
+
+var hotSlots []hotSlot
+
+type coupled struct { // want falseshare
+	mu    sync.Mutex
+	count atomic.Int64
+}
+
+type paddedSlot struct { // ok: 64-byte stride
+	n atomic.Int64
+	_ [56]byte
+}
+
+var paddedSlots []paddedSlot
+
+type decoupled struct { // ok: latch and atomic on distinct lines
+	mu sync.Mutex
+	_  [56]byte
+	n  atomic.Int64
+}
+
+func touchFalseShareFixtures() (int64, int64) {
+	var c coupled
+	var d decoupled
+	c.mu.Lock()
+	c.count.Add(1)
+	c.mu.Unlock()
+	d.n.Add(1)
+	if len(hotSlots) > 0 {
+		hotSlots[0].n.Add(1)
+	}
+	if len(paddedSlots) > 0 {
+		paddedSlots[0].n.Add(1)
+	}
+	return c.count.Load(), d.n.Load()
+}

@@ -48,6 +48,28 @@ func hotBatchedLoop(keys []int, emit func(int)) {
 	flush(scratch)
 }
 
+func takeAny(v any) { _ = v }
+
+func takeAnys(vs ...interface{}) { _ = vs }
+
+//iawj:hotpath
+func hotStringsAndBoxes(keys []int, names []string) string {
+	out := ""
+	const prefix = "k" + "=" // ok: constant concatenation folds at compile time
+	for i, name := range names {
+		out += name       // want hotpathalloc
+		s := name + "!"   // want hotpathalloc
+		_ = prefix + "x"  // ok: still constant
+		takeAny(keys[i])  // want hotpathalloc
+		takeAnys(s, name) // want hotpathalloc // want hotpathalloc
+		takeAny(nil)      // ok: nil does not box
+		var v any = s     // assignment conversions are out of scope
+		takeAny(v)        // ok: already an interface
+	}
+	takeAny(keys[0]) // ok: outside the loop, once per run
+	return out
+}
+
 func coldPath(keys []int) string {
 	// Not annotated: formatting and maps are fine here.
 	seen := map[int]bool{}

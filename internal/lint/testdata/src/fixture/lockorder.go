@@ -1,0 +1,54 @@
+package fixture
+
+import "sync"
+
+// Seeded positive controls for the interprocedural lockorder analyzer:
+// an ABBA cycle split across two call chains, a latch held across a
+// channel send, and a reentrant acquisition through a helper. Deferred
+// unlocks keep lockdiscipline quiet; lockorder models a deferred unlock
+// as held-to-return, which is exactly what makes these orders unsafe.
+
+var (
+	orderMuA sync.Mutex
+	orderMuB sync.Mutex
+	orderMuC sync.Mutex
+)
+
+func orderAB() {
+	orderMuA.Lock()
+	defer orderMuA.Unlock()
+	lockB() // want lockorder
+}
+
+func orderBA() {
+	orderMuB.Lock()
+	defer orderMuB.Unlock()
+	lockA()
+}
+
+func lockA() {
+	orderMuA.Lock()
+	defer orderMuA.Unlock()
+}
+
+func lockB() {
+	orderMuB.Lock()
+	defer orderMuB.Unlock()
+}
+
+func sendWhileLocked(ch chan int) {
+	orderMuC.Lock()
+	defer orderMuC.Unlock()
+	ch <- 1 // want lockorder
+}
+
+func relockOuter() {
+	orderMuC.Lock()
+	defer orderMuC.Unlock()
+	relockInner() // want lockorder
+}
+
+func relockInner() {
+	orderMuC.Lock()
+	defer orderMuC.Unlock()
+}

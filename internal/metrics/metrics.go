@@ -111,8 +111,12 @@ func (t *ThreadMetrics) MatchCount() int64 { return t.matches }
 type Collector struct {
 	threads []ThreadMetrics
 
-	memCur     atomic.Int64
-	memPeak    atomic.Int64
+	memCur  atomic.Int64
+	memPeak atomic.Int64
+
+	// memMu serializes the sampler; pad it off the line of the atomics
+	// the worker threads hammer.
+	_          [24]byte
 	memMu      sync.Mutex
 	memSamples []MemSample
 }

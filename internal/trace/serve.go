@@ -21,6 +21,9 @@ type Registry struct {
 	mu   sync.Mutex
 	algs map[string]*algStats
 
+	// The recorder latch is taken on every span flush while mu is taken
+	// by scrapes; keep the two on separate cache lines.
+	_   [48]byte
 	rec struct {
 		sync.Mutex
 		r *Recorder

@@ -224,7 +224,7 @@ type Worker struct {
 	startNs int64
 	tuples  int64
 
-	_ [4]int64 // keep adjacent workers' hot fields off one cache line
+	_ [6]int64 // pad to 128 bytes: adjacent workers in Recorder.workers stay on distinct cache lines
 }
 
 // Begin closes any open span and opens a new one in phase p.

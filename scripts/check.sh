@@ -5,18 +5,21 @@
 #   1. gofmt        formatting drift fails fast
 #   2. go vet       stdlib static analysis
 #   3. go build     the tree compiles
-#   4. iawjlint     repo-specific analyzers (see LINTING.md)
-#   5. go test      tier-1 verify
-#   6. go test -race  concurrency correctness, incl. the eager stress test
-#   7. trace smoke  a scaled-down fig7 sweep with -trace must yield valid
+#   4. iawjlint     repo-specific analyzers: per-package rules plus the
+#                   whole-program lockorder/falseshare passes (LINTING.md)
+#   5. escapegate   `go build -gcflags=-m=2` escape diagnostics anchored
+#                   to //iawj:hotpath loops — the static AllocsPerRun gate
+#   6. go test      tier-1 verify
+#   7. go test -race  concurrency correctness, incl. the eager stress test
+#   8. trace smoke  a scaled-down fig7 sweep with -trace must yield valid
 #                   Chrome trace JSON with spans for every phase
-#   8. fuzz smoke   5s per existing fuzz target on the gen/ingest parsers
+#   9. fuzz smoke   5s per existing fuzz target on the gen/ingest parsers
 #                   plus the kernel differential fuzzers and the
 #                   whole-join conformance fuzzer
-#   9. bench smoke  every BenchmarkKernel* microbenchmark runs once under
+#  10. bench smoke  every BenchmarkKernel* microbenchmark runs once under
 #                   the race detector, so the batched kernels stay
 #                   runnable and race-clean without a full measurement
-#  10. conformance smoke  iawjconform -smoke under the race detector:
+#  11. conformance smoke  iawjconform -smoke under the race detector:
 #                   the differential matrix (all 8 algorithms x threads x
 #                   workloads x schedule perturbations vs the reference
 #                   oracle) plus the metamorphic checks; see TESTING.md
@@ -46,6 +49,9 @@ go build ./...
 
 step "iawjlint ./..."
 go run ./cmd/iawjlint ./...
+
+step "escapegate (go build -gcflags=-m=2 over //iawj:hotpath loops)"
+go run ./cmd/iawjlint -rules escapegate ./...
 
 step "go test ./..."
 go test ./...
