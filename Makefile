@@ -6,7 +6,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: check build test lint lint-json lint-sarif escapegate race trace-smoke bench bench-kernels bench-smoke fuzz-smoke conform conform-full fmt
+.PHONY: check build test lint lint-json lint-sarif lint-race escapegate race trace-smoke bench bench-kernels bench-smoke bench-gate fuzz-smoke conform conform-full fmt
 
 ## check: run the full CI gate (fmt, vet, build, lint, test, race, fuzz)
 check:
@@ -33,6 +33,10 @@ lint-json:
 lint-sarif:
 	$(GO) run ./cmd/iawjlint -sarif ./...
 
+## lint-race: only the whole-program race rules (guardinfer, atomicmix, goescape)
+lint-race:
+	$(GO) run ./cmd/iawjlint -rules guardinfer,atomicmix,goescape ./...
+
 ## escapegate: only the escape-analysis stage of the lint gate
 escapegate:
 	$(GO) run ./cmd/iawjlint -rules escapegate ./...
@@ -58,6 +62,10 @@ bench-kernels:
 ## bench-smoke: every kernel microbenchmark once, under the race detector
 bench-smoke:
 	$(GO) test -race -run '^$$' -bench '^BenchmarkKernel' -benchtime=1x ./internal/radix ./internal/hashtable
+
+## bench-gate: kernel sweep vs recorded BENCH_3.json, exit 1 on >10% regression
+bench-gate:
+	./scripts/bench.sh -compare BENCH_3.json
 
 ## fuzz-smoke: short fuzz run on the gen/ingest parsers + conformance
 fuzz-smoke:

@@ -22,9 +22,10 @@
 //	-update-baseline   rewrite FILE with the current findings and exit 0
 //
 // Beyond the per-package analyzers, the driver runs the whole-program
-// analyzers (lockorder, falseshare) over every resolved package at once,
-// and the escapegate build stage (`go build -gcflags=-m=2`) over the
-// module, anchoring compiler escape diagnostics to //iawj:hotpath spans.
+// analyzers (lockorder, falseshare, guardinfer, atomicmix, goescape) over
+// every resolved package at once, and the escapegate build stage
+// (`go build -gcflags=-m=2`) over the module, anchoring compiler escape
+// diagnostics to //iawj:hotpath spans.
 //
 // Escape hatches: a `//lint:allow <rule> <reason>` comment on (or directly
 // above) the offending line, or the per-rule path allowlist baked into
@@ -131,7 +132,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		findings = append(findings, fs...)
 	}
-	sortFindings(findings)
+	lint.SortFindings(findings)
 
 	if *baseline != "" && !*updateBaseline {
 		known, err := readBaseline(*baseline)
@@ -141,14 +142,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		var kept []lint.Finding
 		for _, f := range findings {
-			if !known[baselineKey(cwd, f)] {
+			if !known[baselineKey(root, f)] {
 				kept = append(kept, f)
 			}
 		}
 		findings = kept
 	}
 	if *updateBaseline {
-		if err := writeBaseline(*baseline, cwd, findings); err != nil {
+		if err := writeBaseline(*baseline, root, findings); err != nil {
 			fmt.Fprintf(stderr, "iawjlint: %v\n", err)
 			return 2
 		}
@@ -219,24 +220,6 @@ func selectRules(rules string) (selection, error) {
 		}
 	}
 	return sel, nil
-}
-
-// sortFindings orders the combined report by position then rule, matching
-// the engine's per-run order across analyzer classes.
-func sortFindings(out []lint.Finding) {
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i].Pos, out[j].Pos
-		if a.Filename != b.Filename {
-			return a.Filename < b.Filename
-		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
-		}
-		if a.Column != b.Column {
-			return a.Column < b.Column
-		}
-		return out[i].Rule < out[j].Rule
-	})
 }
 
 // jsonFinding is the machine-readable schema, pinned by the golden test.
@@ -361,9 +344,12 @@ func writeSARIF(w io.Writer, cwd string, findings []lint.Finding) {
 }
 
 // baselineKey identifies a finding across line drift: rule, file, and
-// message, but not position.
-func baselineKey(cwd string, f lint.Finding) string {
-	return f.Rule + "\t" + relPath(cwd, f.Pos.Filename) + "\t" + f.Msg
+// message, but not position. The file component is rendered relative to
+// the module root — not the invocation directory — so a baseline written
+// from one cwd suppresses the same findings from any other and never
+// embeds absolute or ../ paths.
+func baselineKey(root string, f lint.Finding) string {
+	return f.Rule + "\t" + relPath(root, f.Pos.Filename) + "\t" + f.Msg
 }
 
 // readBaseline loads the accepted-finding keys, one per line.
@@ -386,11 +372,11 @@ func readBaseline(path string) (map[string]bool, error) {
 }
 
 // writeBaseline records the current findings' keys, sorted and deduped.
-func writeBaseline(path, cwd string, findings []lint.Finding) error {
+func writeBaseline(path, root string, findings []lint.Finding) error {
 	seen := map[string]bool{}
 	var keys []string
 	for _, f := range findings {
-		k := baselineKey(cwd, f)
+		k := baselineKey(root, f)
 		if !seen[k] {
 			seen[k] = true
 			keys = append(keys, k)
@@ -398,7 +384,7 @@ func writeBaseline(path, cwd string, findings []lint.Finding) error {
 	}
 	sort.Strings(keys)
 	var b strings.Builder
-	b.WriteString("# iawjlint baseline: rule<TAB>file<TAB>message, one accepted finding per line.\n")
+	b.WriteString("# iawjlint baseline: rule<TAB>module-relative file<TAB>message, one accepted finding per line.\n")
 	for _, k := range keys {
 		b.WriteString(k + "\n")
 	}

@@ -46,7 +46,7 @@ func TestGolden(t *testing.T) {
 // package (internal/lint's TestEscapeGateFixture builds escfixture with
 // -m=2); `go build ./...` never compiles testdata.
 func TestEachRuleTripsNonZero(t *testing.T) {
-	for _, rule := range []string{"determinism", "lockdiscipline", "goroutineleak", "hotpathalloc", "panicpolicy", "tracering", "lockorder", "falseshare"} {
+	for _, rule := range []string{"determinism", "lockdiscipline", "goroutineleak", "hotpathalloc", "panicpolicy", "tracering", "lockorder", "falseshare", "guardinfer", "atomicmix", "goescape"} {
 		t.Run(rule, func(t *testing.T) {
 			var out, errs bytes.Buffer
 			code := run([]string{"-rules", rule, fixture}, &out, &errs)
@@ -79,7 +79,7 @@ func TestUnknownRule(t *testing.T) {
 	if !strings.Contains(errs.String(), "unknown rule") {
 		t.Errorf("stderr = %q, want unknown-rule error", errs.String())
 	}
-	for _, rule := range []string{"determinism", "hotpathalloc", "lockorder", "falseshare", "escapegate"} {
+	for _, rule := range []string{"determinism", "hotpathalloc", "lockorder", "falseshare", "guardinfer", "atomicmix", "goescape", "escapegate"} {
 		if !strings.Contains(errs.String(), rule) {
 			t.Errorf("unknown-rule error does not list %s: %q", rule, errs.String())
 		}
@@ -92,7 +92,7 @@ func TestListRules(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errs); code != 0 {
 		t.Fatalf("exit code = %d, want 0", code)
 	}
-	for _, rule := range []string{"determinism", "lockdiscipline", "goroutineleak", "hotpathalloc", "panicpolicy", "tracering", "lockorder", "falseshare", "escapegate"} {
+	for _, rule := range []string{"determinism", "lockdiscipline", "goroutineleak", "hotpathalloc", "panicpolicy", "tracering", "lockorder", "falseshare", "guardinfer", "atomicmix", "goescape", "escapegate"} {
 		if !strings.Contains(out.String(), rule) {
 			t.Errorf("-list output missing %s:\n%s", rule, out.String())
 		}
@@ -138,8 +138,11 @@ func TestGoldenJSON(t *testing.T) {
 	}
 }
 
-// TestSARIF checks the -sarif document shape: valid JSON, the full rule
-// catalogue under tool.driver.rules, one result per finding.
+// TestSARIF validates the -sarif document against the SARIF 2.1.0
+// required properties: version, a $schema URI, one run with
+// tool.driver.{name,rules}, and results each carrying ruleId, level,
+// message.text, and a positioned physical location whose ruleId resolves
+// in the driver's rule catalogue.
 func TestSARIF(t *testing.T) {
 	var out, errs bytes.Buffer
 	code := run([]string{"-sarif", fixture}, &out, &errs)
@@ -147,20 +150,31 @@ func TestSARIF(t *testing.T) {
 		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, errs.String())
 	}
 	var doc struct {
+		Schema  string `json:"$schema"`
 		Version string `json:"version"`
 		Runs    []struct {
 			Tool struct {
 				Driver struct {
 					Name  string `json:"name"`
 					Rules []struct {
-						ID string `json:"id"`
+						ID               string `json:"id"`
+						ShortDescription struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
 					} `json:"rules"`
 				} `json:"driver"`
 			} `json:"tool"`
 			Results []struct {
-				RuleID    string `json:"ruleId"`
+				RuleID  string `json:"ruleId"`
+				Level   string `json:"level"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
 				Locations []struct {
 					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
 						Region struct {
 							StartLine int `json:"startLine"`
 						} `json:"region"`
@@ -172,18 +186,44 @@ func TestSARIF(t *testing.T) {
 	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
 		t.Fatalf("output is not valid SARIF JSON: %v", err)
 	}
+	if !strings.Contains(doc.Schema, "sarif-2.1.0") {
+		t.Errorf("$schema = %q, want a sarif-2.1.0 schema URI", doc.Schema)
+	}
 	if doc.Version != "2.1.0" || len(doc.Runs) != 1 {
 		t.Fatalf("version=%q runs=%d, want 2.1.0 with one run", doc.Version, len(doc.Runs))
 	}
 	run0 := doc.Runs[0]
-	if run0.Tool.Driver.Name != "iawjlint" || len(run0.Tool.Driver.Rules) != 9 {
-		t.Errorf("driver %q with %d rules, want iawjlint with the 9-rule catalogue", run0.Tool.Driver.Name, len(run0.Tool.Driver.Rules))
+	if run0.Tool.Driver.Name != "iawjlint" || len(run0.Tool.Driver.Rules) != 12 {
+		t.Errorf("driver %q with %d rules, want iawjlint with the 12-rule catalogue", run0.Tool.Driver.Name, len(run0.Tool.Driver.Rules))
+	}
+	ruleIDs := map[string]bool{}
+	for _, r := range run0.Tool.Driver.Rules {
+		if r.ID == "" || r.ShortDescription.Text == "" {
+			t.Errorf("rule %+v lacks id or shortDescription.text", r)
+		}
+		ruleIDs[r.ID] = true
+	}
+	for _, rule := range []string{"guardinfer", "atomicmix", "goescape"} {
+		if !ruleIDs[rule] {
+			t.Errorf("driver rules missing %s", rule)
+		}
 	}
 	if len(run0.Results) == 0 {
 		t.Error("no results for the seeded fixture")
 	}
 	for _, r := range run0.Results {
-		if len(r.Locations) != 1 || r.Locations[0].PhysicalLocation.Region.StartLine == 0 {
+		if !ruleIDs[r.RuleID] {
+			t.Errorf("result ruleId %q not in the driver catalogue", r.RuleID)
+		}
+		if r.Level != "error" && r.Level != "warning" {
+			t.Errorf("result %s has level %q, want error or warning", r.RuleID, r.Level)
+		}
+		if r.Message.Text == "" {
+			t.Errorf("result %s lacks message.text", r.RuleID)
+		}
+		if len(r.Locations) != 1 ||
+			r.Locations[0].PhysicalLocation.ArtifactLocation.URI == "" ||
+			r.Locations[0].PhysicalLocation.Region.StartLine == 0 {
 			t.Errorf("result %s lacks a positioned location", r.RuleID)
 		}
 	}
@@ -210,6 +250,50 @@ func TestBaselineRoundTrip(t *testing.T) {
 	errs.Reset()
 	if code := run([]string{"-baseline", base, fixture}, &out, &errs); code != 0 {
 		t.Errorf("baselined run exit = %d, want 0\nstdout: %s", code, out.String())
+	}
+	// Baseline keys are module-root relative: no absolute paths and no
+	// ../ segments, whatever directory the driver ran from.
+	raw, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawKey := false
+	for _, line := range strings.Split(string(raw), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sawKey = true
+		parts := strings.Split(line, "\t")
+		if len(parts) != 3 {
+			t.Fatalf("baseline line is not rule<TAB>file<TAB>message: %q", line)
+		}
+		if filepath.IsAbs(parts[1]) || strings.Contains(parts[1], "..") {
+			t.Errorf("baseline key embeds a non-portable path %q; want module-root relative", parts[1])
+		}
+		if !strings.HasPrefix(parts[1], "internal/lint/testdata/") {
+			t.Errorf("baseline key path %q is not module-root relative", parts[1])
+		}
+	}
+	if !sawKey {
+		t.Fatal("baseline recorded no keys")
+	}
+	// The same baseline must suppress the same findings from another
+	// working directory.
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(filepath.Join(cwd, "..", "..")); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(cwd)
+	out.Reset()
+	errs.Reset()
+	if code := run([]string{"-baseline", base, "internal/lint/testdata/src/fixture"}, &out, &errs); code != 0 {
+		t.Errorf("baselined run from module root exit = %d, want 0\nstdout: %s", code, out.String())
+	}
+	if err := os.Chdir(cwd); err != nil {
+		t.Fatal(err)
 	}
 	// A baseline for one rule must not swallow the others.
 	if err := os.WriteFile(base, []byte("# only tracering accepted\n"), 0o644); err != nil {

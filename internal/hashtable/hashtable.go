@@ -252,6 +252,7 @@ func (t *Shared) Reset() {
 		for ov := b.next; ov != nil; {
 			nxt := ov.next
 			ov.next = t.free
+			//lint:allow guardinfer Reset runs between windows after every worker has quiesced; the free list has a single owner here
 			t.free = ov
 			ov = nxt
 		}
@@ -427,6 +428,7 @@ func (t *LockFree) Size() int64 { return t.size.Load() }
 // MemBytes reports the logical footprint (directory plus one 24-byte node
 // per tuple).
 func (t *LockFree) MemBytes() int64 {
+	//lint:allow atomicmix len reads the slice header, immutable after NewLockFree; the atomic ops target the elements
 	return int64(len(t.heads))*8 + t.size.Load()*24
 }
 

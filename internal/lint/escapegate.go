@@ -208,7 +208,7 @@ func (g EscapeGate) Check(root string, prog *Program, pathAllow map[string][]str
 		}
 		kept = append(kept, f)
 	}
-	sortFindings(kept)
+	SortFindings(kept)
 	return kept, nil
 }
 

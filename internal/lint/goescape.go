@@ -1,0 +1,402 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoEscape flags closures handed to goroutine spawn sites that capture
+// addressable locals written inside the closure while the spawning
+// function keeps touching them — the shared-counter race every eager
+// worker loop is one typo away from:
+//
+//	n := 0
+//	go func() { n++ }()
+//	n++          // races with the goroutine
+//
+// Spawn sites are `go func(){...}()` statements, errgroup-style
+// `g.Go(func(){...})` calls, and calls to same-module helpers that
+// launch a func-typed parameter in a goroutine without joining before
+// returning. Helpers that spawn AND join internally — the repo's
+// parallel(threads, fn) pattern — execute their argument synchronously
+// overall and are not spawn sites.
+//
+// An access after the spawn is accepted when a join operation (a Wait
+// call, a channel receive, or a select) lies between the spawn and the
+// access, or when the goroutine's writes and the outer access hold a
+// common latch (per the lockset layer's held map). Loop variables
+// captured by a spawned closure are reported as hygiene (Warn): go.mod
+// says 1.22 so iterations get distinct variables, but the pattern still
+// races when the variable is written after the spawn, and the code
+// breaks silently when vendored into a pre-1.22 module.
+type GoEscape struct{}
+
+// Name implements ProgramAnalyzer.
+func (GoEscape) Name() string { return "goescape" }
+
+// Doc implements ProgramAnalyzer.
+func (GoEscape) Doc() string {
+	return "no goroutine closure captures a local written on both sides of the spawn without a join or common latch"
+}
+
+// Severity implements ProgramAnalyzer.
+func (GoEscape) Severity() Severity { return Error }
+
+// geSpawn is one spawn site inside a function body.
+type geSpawn struct {
+	lit   *ast.FuncLit
+	pos   token.Pos  // spawn statement position, for messages
+	end   token.Pos  // code after this runs concurrently with the closure
+	loops []ast.Node // enclosing for/range statements at the spawn
+}
+
+// CheckProgram implements ProgramAnalyzer.
+func (GoEscape) CheckProgram(prog *Program) []Finding {
+	ls := prog.lockSets()
+	helpers := collectSpawnHelpers(prog)
+	var out []Finding
+	for _, p := range prog.Packages {
+		for _, f := range p.Files {
+			imports := importNames(f)
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				out = append(out, checkSpawns(ls, helpers, p, imports, fn)...)
+			}
+		}
+	}
+	return out
+}
+
+// collectSpawnHelpers finds same-module functions that launch a
+// func-typed parameter in a goroutine and return without joining it —
+// callers of such helpers are spawn sites for their closure arguments.
+func collectSpawnHelpers(prog *Program) map[loFuncID]bool {
+	out := map[loFuncID]bool{}
+	for _, p := range prog.Packages {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil || fn.Type.Params == nil {
+					continue
+				}
+				params := map[types.Object]bool{}
+				for _, fld := range fn.Type.Params.List {
+					if _, isFunc := fld.Type.(*ast.FuncType); !isFunc {
+						continue
+					}
+					for _, name := range fld.Names {
+						if obj := p.Info.Defs[name]; obj != nil {
+							params[obj] = true
+						}
+					}
+				}
+				if len(params) == 0 {
+					continue
+				}
+				var lastSpawn token.Pos = token.NoPos
+				joined := false
+				ast.Inspect(fn.Body, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.GoStmt:
+						uses := false
+						ast.Inspect(n, func(m ast.Node) bool {
+							if id, ok := m.(*ast.Ident); ok && params[objOf(p, id)] {
+								uses = true
+							}
+							return true
+						})
+						if uses && n.Pos() > lastSpawn {
+							lastSpawn = n.Pos()
+							joined = false
+						}
+					case *ast.CallExpr:
+						if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" &&
+							lastSpawn != token.NoPos && n.Pos() > lastSpawn {
+							joined = true
+						}
+					case *ast.UnaryExpr:
+						if n.Op == token.ARROW && lastSpawn != token.NoPos && n.Pos() > lastSpawn {
+							joined = true
+						}
+					}
+					return true
+				})
+				if lastSpawn != token.NoPos && !joined {
+					out[loFuncID{pkg: p.Rel, recv: recvTypeName(fn), name: fn.Name.Name}] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkSpawns analyzes one function's spawn sites for captured-write
+// races and loop-variable capture.
+func checkSpawns(ls *lockSets, helpers map[loFuncID]bool, p *Package, imports map[string]string, fn *ast.FuncDecl) []Finding {
+	spawns := findSpawns(ls, helpers, p, imports, fn)
+	if len(spawns) == 0 {
+		return nil
+	}
+	spawnedLit := map[*ast.FuncLit]bool{}
+	for _, sp := range spawns {
+		spawnedLit[sp.lit] = true
+	}
+	// Join operations in the outer body order the spawn against later
+	// accesses. Joins inside spawned closures synchronize nothing for the
+	// spawner, and a deferred Wait runs after every body access.
+	var joins []token.Pos
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if spawnedLit[n] {
+				return false
+			}
+		case *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				joins = append(joins, n.Pos())
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				joins = append(joins, n.Pos())
+			}
+		case *ast.SelectStmt:
+			joins = append(joins, n.Pos())
+		}
+		return true
+	})
+
+	var out []Finding
+	for _, sp := range spawns {
+		out = append(out, checkOneSpawn(ls, p, fn, sp, spawnedLit, joins)...)
+	}
+	return out
+}
+
+// findSpawns collects the function's spawn sites with their enclosing
+// loops.
+func findSpawns(ls *lockSets, helpers map[loFuncID]bool, p *Package, imports map[string]string, fn *ast.FuncDecl) []geSpawn {
+	exists := func(id loFuncID) bool { _, ok := ls.sums[id]; return ok }
+	var spawns []geSpawn
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				spawns = append(spawns, geSpawn{lit: lit, pos: n.Pos(), end: n.End(), loops: enclosingLoops(fn, n.Pos())})
+			}
+		case *ast.CallExpr:
+			spawning := false
+			callees := resolveCalleesIn(ls.prog, p, imports, exists, ls.byMethod, n)
+			for _, c := range callees {
+				if helpers[c] {
+					spawning = true
+				}
+			}
+			if !spawning && len(callees) == 0 {
+				// Unresolvable .Go receiver: assume errgroup semantics
+				// (spawns now, joins at a later .Wait()).
+				if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Go" {
+					spawning = true
+				}
+			}
+			if spawning {
+				for _, arg := range n.Args {
+					if lit, ok := arg.(*ast.FuncLit); ok {
+						spawns = append(spawns, geSpawn{lit: lit, pos: n.Pos(), end: n.End(), loops: enclosingLoops(fn, n.Pos())})
+					}
+				}
+			}
+		}
+		return true
+	})
+	return spawns
+}
+
+// enclosingLoops returns the for/range statements of fn containing pos.
+func enclosingLoops(fn *ast.FuncDecl, pos token.Pos) []ast.Node {
+	var out []ast.Node
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			if n.Pos() <= pos && pos < n.End() {
+				out = append(out, n)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkOneSpawn reports the races of one spawn site.
+func checkOneSpawn(ls *lockSets, p *Package, fn *ast.FuncDecl, sp geSpawn, spawnedLit map[*ast.FuncLit]bool, joins []token.Pos) []Finding {
+	spawnLine := p.Fset.Position(sp.pos).Line
+
+	// Captured objects: locals of fn (params included) used inside the
+	// closure but declared outside it.
+	type capture struct {
+		obj    types.Object
+		first  *ast.Ident
+		writes []*ast.Ident
+	}
+	caps := map[types.Object]*capture{}
+	var order []types.Object
+	ast.Inspect(sp.lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := p.Info.Uses[id]
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		pos := obj.Pos()
+		if pos < fn.Pos() || pos > fn.End() {
+			return true // package-level or foreign
+		}
+		if pos >= sp.lit.Pos() && pos <= sp.lit.End() {
+			return true // the closure's own params/locals
+		}
+		c := caps[obj]
+		if c == nil {
+			c = &capture{obj: obj, first: id}
+			caps[obj] = c
+			order = append(order, obj)
+		}
+		return true
+	})
+	if len(order) == 0 {
+		return nil
+	}
+	// Writes inside the closure targeting a captured object.
+	ast.Inspect(sp.lit.Body, func(n ast.Node) bool {
+		var targets []ast.Expr
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			targets = n.Lhs
+		case *ast.IncDecStmt:
+			targets = []ast.Expr{n.X}
+		default:
+			return true
+		}
+		for _, t := range targets {
+			root := rootIdent(t)
+			if root == nil {
+				continue
+			}
+			if c := caps[p.Info.Uses[root]]; c != nil {
+				c.writes = append(c.writes, root)
+			}
+		}
+		return true
+	})
+
+	loopVars := loopVarObjects(p, sp.loops)
+	var out []Finding
+	for _, obj := range order {
+		c := caps[obj]
+		if loopVars[obj] {
+			out = append(out, Finding{
+				Rule: "goescape",
+				Sev:  Warn,
+				Pos:  p.Fset.Position(c.first.Pos()),
+				Msg: fmt.Sprintf("loop variable %s captured by the goroutine closure spawned at line %d; pass it as an argument — per-iteration semantics (go 1.22) still race if the variable is written after the spawn, and pre-1.22 builds share one variable across iterations",
+					obj.Name(), spawnLine),
+			})
+			continue
+		}
+		if len(c.writes) == 0 {
+			continue // read-only capture: the closure cannot corrupt it
+		}
+		racy := findRacyAccess(ls, p, fn, sp, spawnedLit, joins, obj, c.writes)
+		if racy == nil {
+			continue
+		}
+		out = append(out, Finding{
+			Rule: "goescape",
+			Sev:  Error,
+			Pos:  p.Fset.Position(racy.Pos()),
+			Msg: fmt.Sprintf("%s is written by the goroutine closure spawned at line %d and accessed here with no join (Wait/receive/select) or common latch between; the access races with the goroutine — join first, guard both sides, or pass results over a channel (//lint:allow goescape to justify)",
+				obj.Name(), spawnLine),
+		})
+	}
+	return out
+}
+
+// loopVarObjects resolves the loop variables of the enclosing loops.
+func loopVarObjects(p *Package, loops []ast.Node) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	for _, l := range loops {
+		switch l := l.(type) {
+		case *ast.RangeStmt:
+			for _, e := range []ast.Expr{l.Key, l.Value} {
+				if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+					if obj := objOf(p, id); obj != nil {
+						out[obj] = true
+					}
+				}
+			}
+		case *ast.ForStmt:
+			if ini, ok := l.Init.(*ast.AssignStmt); ok {
+				for _, e := range ini.Lhs {
+					if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+						if obj := objOf(p, id); obj != nil {
+							out[obj] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// findRacyAccess returns the first outer-body use of obj after the spawn
+// that no join and no common latch orders against the closure's writes.
+func findRacyAccess(ls *lockSets, p *Package, fn *ast.FuncDecl, sp geSpawn, spawnedLit map[*ast.FuncLit]bool, joins []token.Pos, obj types.Object, innerWrites []*ast.Ident) *ast.Ident {
+	var racy *ast.Ident
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if racy != nil {
+			return false
+		}
+		if lit, ok := n.(*ast.FuncLit); ok && spawnedLit[lit] {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || p.Info.Uses[id] != obj {
+			return true
+		}
+		if id.Pos() <= sp.end {
+			return true
+		}
+		for _, j := range joins {
+			if sp.end < j && j <= id.Pos() {
+				return true // a join orders spawn -> access
+			}
+		}
+		if outerHeld := ls.identHeld[id]; len(outerHeld) > 0 {
+			ordered := true
+			for _, w := range innerWrites {
+				if !intersectsStr(ls.identHeld[w], outerHeld) {
+					ordered = false
+					break
+				}
+			}
+			if ordered {
+				return true // a common latch orders every write pair
+			}
+		}
+		racy = id
+		return false
+	})
+	return racy
+}

@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// GuardInfer is the Eraser-style static lockset rule. For every plain
+// data field of a latch-carrying struct it infers the guarding mutex from
+// the held-sets observed across the field's writes — locally simulated
+// plus the interprocedural must-hold entry sets of the lockset layer —
+// and reports every write reached with an empty or disjoint lockset:
+//
+//   - a field written under a latch somewhere must be written under that
+//     latch everywhere; a bare write is a data race the race detector
+//     only catches on schedules that collide;
+//   - a write under a different latch is worse: both sides believe they
+//     are synchronized, and the disjoint locksets order nothing.
+//
+// The guard is the lock held at the most writes (the intersection when
+// the discipline is consistent), with lexicographic tie-break for
+// determinism. Fields never written under any lock carry no inferable
+// discipline — stack-confined or quiesced-phase state — and are skipped;
+// constructor writes are exempt via the publication heuristic (see
+// locksets.go); atomic-typed fields belong to atomicmix. Reads are out of
+// scope: the write side is where corruption starts, and flagging reads
+// would double every finding.
+type GuardInfer struct{}
+
+// Name implements ProgramAnalyzer.
+func (GuardInfer) Name() string { return "guardinfer" }
+
+// Doc implements ProgramAnalyzer.
+func (GuardInfer) Doc() string {
+	return "fields of latch-carrying structs are written under their inferred guarding latch (static lockset analysis)"
+}
+
+// Severity implements ProgramAnalyzer.
+func (GuardInfer) Severity() Severity { return Error }
+
+// CheckProgram implements ProgramAnalyzer.
+func (GuardInfer) CheckProgram(prog *Program) []Finding {
+	ls := prog.lockSets()
+	type fieldKey struct{ owner, field string }
+	groups := map[fieldKey][]*lsAccess{}
+	var keys []fieldKey
+	for _, a := range ls.accesses {
+		st := ls.structs[a.owner]
+		if st == nil || !st.latched || st.fields[a.field] != lsPlain {
+			continue
+		}
+		if !a.write || a.atomic || a.exempt {
+			continue
+		}
+		k := fieldKey{a.owner, a.field}
+		if _, ok := groups[k]; !ok {
+			keys = append(keys, k)
+		}
+		groups[k] = append(groups[k], a)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].owner != keys[j].owner {
+			return keys[i].owner < keys[j].owner
+		}
+		return keys[i].field < keys[j].field
+	})
+
+	var out []Finding
+	for _, k := range keys {
+		writes := groups[k]
+		votes := map[string]int{}
+		guarded := 0
+		heldSets := make([][]string, len(writes))
+		for i, a := range writes {
+			eff := ls.effectiveHeld(a)
+			heldSets[i] = eff
+			if len(eff) > 0 {
+				guarded++
+			}
+			for _, l := range eff {
+				votes[l]++
+			}
+		}
+		if guarded == 0 {
+			continue // no locking discipline to infer: confined state
+		}
+		guard := ""
+		for l, n := range votes {
+			if guard == "" || n > votes[guard] || (n == votes[guard] && l < guard) {
+				guard = l
+			}
+		}
+		for i, a := range writes {
+			if containsStr(heldSets[i], guard) {
+				continue
+			}
+			var msg string
+			if len(heldSets[i]) == 0 {
+				msg = fmt.Sprintf("%s.%s is written without its inferred guard %s (held at %d of %d writes); take the latch or justify with //lint:allow guardinfer",
+					k.owner, k.field, guard, votes[guard], len(writes))
+			} else {
+				msg = fmt.Sprintf("%s.%s is written holding only %s, disjoint from its inferred guard %s (held at %d of %d writes); disjoint locksets order nothing — one latch must own the field",
+					k.owner, k.field, strings.Join(heldSets[i], ", "), guard, votes[guard], len(writes))
+			}
+			out = append(out, Finding{Rule: "guardinfer", Sev: Error, Pos: a.fset.Position(a.pos), Msg: msg})
+		}
+	}
+	return out
+}

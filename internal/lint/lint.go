@@ -99,6 +99,9 @@ func AllProgram() []ProgramAnalyzer {
 	return []ProgramAnalyzer{
 		LockOrder{},
 		NewFalseShare(),
+		GuardInfer{},
+		AtomicMix{},
+		GoEscape{},
 	}
 }
 
@@ -238,6 +241,9 @@ type Program struct {
 	Packages []*Package
 
 	byRel map[string]*Package
+	// locksets caches the shared access-summary layer (locksets.go) so
+	// guardinfer, atomicmix, and goescape walk the program once.
+	locksets *lockSets
 }
 
 // NewProgram assembles a Program from loaded packages (nils are skipped).
@@ -422,7 +428,7 @@ func (r *Runner) Check(p *Package) []Finding {
 			out = append(out, f)
 		}
 	}
-	sortFindings(out)
+	SortFindings(out)
 	return out
 }
 
@@ -464,14 +470,18 @@ func (r *Runner) CheckProgram(prog *Program) []Finding {
 			out = append(out, f)
 		}
 	}
-	sortFindings(out)
+	SortFindings(out)
 	return out
 }
 
-// sortFindings orders findings by position then rule, the driver's stable
-// report order.
-func sortFindings(out []Finding) {
-	sort.Slice(out, func(i, j int) bool {
+// SortFindings stable-sorts findings by (file, line, column, rule,
+// message) — the one report order shared by the engine and every driver
+// emission path (text, JSON, SARIF, baselines), so goldens and baselines
+// never churn on map-iteration order. The message tie-break matters when
+// one rule reports twice at one position (e.g. two lock-order cycles
+// anchored at the same edge).
+func SortFindings(out []Finding) {
+	sort.SliceStable(out, func(i, j int) bool {
 		a, b := out[i].Pos, out[j].Pos
 		if a.Filename != b.Filename {
 			return a.Filename < b.Filename
@@ -482,7 +492,10 @@ func sortFindings(out []Finding) {
 		if a.Column != b.Column {
 			return a.Column < b.Column
 		}
-		return out[i].Rule < out[j].Rule
+		if out[i].Rule != out[j].Rule {
+			return out[i].Rule < out[j].Rule
+		}
+		return out[i].Msg < out[j].Msg
 	})
 }
 

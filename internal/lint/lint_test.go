@@ -3,6 +3,8 @@ package lint
 import (
 	"bufio"
 	"fmt"
+	"go/token"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -192,6 +194,33 @@ func TestSeverityString(t *testing.T) {
 	for sev, want := range map[Severity]string{Error: "error", Warn: "warn"} {
 		if got := fmt.Sprint(sev); got != want {
 			t.Errorf("Severity(%d) = %q, want %q", sev, got, want)
+		}
+	}
+}
+
+// TestSortFindingsDeterministic shuffles a finding list with position and
+// rule collisions through several seeds: SortFindings must always land on
+// the identical total order, or goldens and baselines churn run to run.
+func TestSortFindingsDeterministic(t *testing.T) {
+	base := []Finding{
+		{Rule: "lockorder", Sev: Error, Msg: "cycle a->b", Pos: token.Position{Filename: "a.go", Line: 10, Column: 2}},
+		{Rule: "lockorder", Sev: Error, Msg: "cycle b->a", Pos: token.Position{Filename: "a.go", Line: 10, Column: 2}},
+		{Rule: "guardinfer", Sev: Error, Msg: "unguarded", Pos: token.Position{Filename: "a.go", Line: 10, Column: 2}},
+		{Rule: "atomicmix", Sev: Error, Msg: "mixed", Pos: token.Position{Filename: "a.go", Line: 10, Column: 9}},
+		{Rule: "goescape", Sev: Warn, Msg: "loop var", Pos: token.Position{Filename: "a.go", Line: 3, Column: 1}},
+		{Rule: "falseshare", Sev: Warn, Msg: "hot line", Pos: token.Position{Filename: "b.go", Line: 1, Column: 1}},
+		{Rule: "tracering", Sev: Error, Msg: "ring", Pos: token.Position{Filename: "b.go", Line: 1, Column: 1}},
+	}
+	want := append([]Finding(nil), base...)
+	SortFindings(want)
+	for seed := int64(0); seed < 8; seed++ {
+		got := append([]Finding(nil), base...)
+		rand.New(rand.NewSource(seed)).Shuffle(len(got), func(i, j int) {
+			got[i], got[j] = got[j], got[i]
+		})
+		SortFindings(got)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: shuffled input sorted to a different order:\ngot  %+v\nwant %+v", seed, got, want)
 		}
 	}
 }

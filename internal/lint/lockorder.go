@@ -527,26 +527,33 @@ func (w *loWalker) call(call *ast.CallExpr, async bool) {
 }
 
 // resolveCallees maps a call expression to candidate function summaries.
+func (w *loWalker) resolveCallees(call *ast.CallExpr) []loFuncID {
+	exists := func(id loFuncID) bool { _, ok := w.sums[id]; return ok }
+	return resolveCalleesIn(w.prog, w.p, w.imports, exists, w.byMethod, call)
+}
+
+// resolveCalleesIn maps a call expression to candidate declared functions.
 // Resolution is best-effort and conservative: same-package functions and
 // import-qualified module functions resolve exactly; method calls resolve
 // by receiver type when the permissive check knows it, otherwise by unique
 // method name across the program (capped, to avoid promiscuous names like
-// String linking everything to everything).
-func (w *loWalker) resolveCallees(call *ast.CallExpr) []loFuncID {
+// String linking everything to everything). Shared by lockorder and the
+// lockset layer.
+func resolveCalleesIn(prog *Program, p *Package, imports map[string]string, exists func(loFuncID) bool, byMethod map[string][]loFuncID, call *ast.CallExpr) []loFuncID {
 	switch fun := call.Fun.(type) {
 	case *ast.Ident:
-		id := loFuncID{pkg: w.p.Rel, name: fun.Name}
-		if _, ok := w.sums[id]; ok {
+		id := loFuncID{pkg: p.Rel, name: fun.Name}
+		if exists(id) {
 			return []loFuncID{id}
 		}
 	case *ast.SelectorExpr:
 		if x, ok := fun.X.(*ast.Ident); ok {
-			if path, isImport := w.imports[x.Name]; isImport {
-				if obj := w.p.Info.Uses[x]; obj != nil {
+			if path, isImport := imports[x.Name]; isImport {
+				if obj := p.Info.Uses[x]; obj != nil {
 					if _, isPkg := obj.(*types.PkgName); isPkg {
-						if tp := w.prog.ByImportPath(path); tp != nil {
+						if tp := prog.ByImportPath(path); tp != nil {
 							id := loFuncID{pkg: tp.Rel, name: fun.Sel.Name}
-							if _, ok := w.sums[id]; ok {
+							if exists(id) {
 								return []loFuncID{id}
 							}
 						}
@@ -555,16 +562,16 @@ func (w *loWalker) resolveCallees(call *ast.CallExpr) []loFuncID {
 				}
 			}
 		}
-		if named := namedTypeName(w.p, fun.X); named != "" {
-			id := loFuncID{pkg: w.p.Rel, recv: named, name: fun.Sel.Name}
-			if _, ok := w.sums[id]; ok {
+		if named := namedTypeName(p, fun.X); named != "" {
+			id := loFuncID{pkg: p.Rel, recv: named, name: fun.Sel.Name}
+			if exists(id) {
 				return []loFuncID{id}
 			}
 		}
 		// Unresolved receiver (cross-package value): all same-name
 		// methods, capped.
 		const maxCandidates = 8
-		cands := w.byMethod[fun.Sel.Name]
+		cands := byMethod[fun.Sel.Name]
 		if len(cands) > 0 && len(cands) <= maxCandidates {
 			return cands
 		}
@@ -572,26 +579,33 @@ func (w *loWalker) resolveCallees(call *ast.CallExpr) []loFuncID {
 	return nil
 }
 
-// lockKey names the mutex behind an acquisition receiver expression. The
-// preferred identity is package.OwnerType.field; package-level vars are
-// package.var; locals fall back to a function-scoped textual name.
+// lockKey names the mutex behind an acquisition receiver expression.
 func (w *loWalker) lockKey(mutex ast.Expr) (key, expr string) {
+	return lockKeyIn(w.p, w.fnName, mutex)
+}
+
+// lockKeyIn names a mutex expression program-wide. The preferred identity
+// is package.OwnerType.field; package-level vars are package.var; locals
+// fall back to a function-scoped textual name. Shared by lockorder and the
+// lockset layer (guardinfer/atomicmix/goescape) so held-set keys agree
+// across rules.
+func lockKeyIn(p *Package, fnName string, mutex ast.Expr) (key, expr string) {
 	expr = exprString(mutex)
 	switch m := mutex.(type) {
 	case *ast.SelectorExpr:
-		if owner := namedTypeName(w.p, m.X); owner != "" {
-			return w.p.Rel + "." + owner + "." + m.Sel.Name, expr
+		if owner := namedTypeName(p, m.X); owner != "" {
+			return p.Rel + "." + owner + "." + m.Sel.Name, expr
 		}
 	case *ast.Ident:
-		obj := w.p.Info.Uses[m]
+		obj := p.Info.Uses[m]
 		if obj == nil {
-			obj = w.p.Info.Defs[m]
+			obj = p.Info.Defs[m]
 		}
 		if obj != nil && obj.Parent() == obj.Pkg().Scope() {
-			return w.p.Rel + "." + m.Name, expr
+			return p.Rel + "." + m.Name, expr
 		}
 	}
-	return w.p.Rel + "." + w.fnName + ":" + expr, expr
+	return p.Rel + "." + fnName + ":" + expr, expr
 }
 
 // namedTypeName resolves an expression's type to its named struct type,

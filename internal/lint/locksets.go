@@ -1,0 +1,804 @@
+package lint
+
+// This file is the shared lockset layer under the v3 whole-program race
+// rules (guardinfer, atomicmix, goescape). It walks every function body
+// once, simulating the held-lock set exactly like lockorder's loWalker,
+// and records every syntactic access to a field of a tracked struct:
+// who accessed it (function), how (read/write, plain/atomic, sync/async),
+// and which locks were held locally at the access. A must-hold entry-set
+// fixpoint then adds the locks held at every in-program call site of each
+// unexported function, giving the interprocedural effective lockset per
+// access that the rules consume.
+//
+// Constructor accesses are exempted by a publication heuristic: a local
+// that provably holds a freshly created value (composite literal, new,
+// constructor call) is single-goroutine until the value flows into a `go`
+// statement, a channel send, or a global; accesses before that point
+// cannot race. Receivers and parameters are never fresh.
+//
+// Known approximations, shared by all three rules and documented in
+// LINTING.md: branches are merged like lockdiscipline (an unlock on any
+// path releases), deferred closures are not walked (a deferred unlock
+// correctly keeps the lock held to return), RLock and Lock map to the
+// same key, mutation through a method call or a stored alias (&s.f) is
+// not a syntactic write, and exported functions are analysis roots that
+// assume nothing held (tests and external callers reach them freely).
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// lsFieldKind classifies a struct field for the lockset rules.
+type lsFieldKind int
+
+const (
+	lsPlain  lsFieldKind = iota
+	lsSync               // sync.Mutex/RWMutex/WaitGroup/...: lock events, not data
+	lsAtomic             // sync/atomic value types, incl. slices/arrays of them
+)
+
+// lsStruct is one named struct's field classification, keyed
+// "pkgRel.TypeName" like falseshare's layouts.
+type lsStruct struct {
+	key     string
+	latched bool // carries a direct or embedded sync.Mutex/RWMutex
+	fields  map[string]lsFieldKind
+}
+
+// lsAccess is one syntactic access to a tracked struct field.
+type lsAccess struct {
+	owner  string // lsStruct key
+	field  string
+	write  bool
+	atomic bool     // via a sync/atomic call or an atomic.* method
+	async  bool     // inside a go-launched closure: entry-held does not apply
+	exempt bool     // pre-publication constructor/init access
+	held   []string // lock keys held locally at the access
+	fn     loFuncID
+	pos    token.Pos
+	fset   *token.FileSet
+}
+
+// lsSummary is one function's call sites, feeding the entry-set fixpoint.
+type lsSummary struct {
+	id    loFuncID
+	pkg   *Package
+	calls []loCall
+}
+
+// lockSets is the program-wide access summary shared by the v3 rules.
+type lockSets struct {
+	prog     *Program
+	structs  map[string]*lsStruct
+	sums     map[loFuncID]*lsSummary
+	order    []loFuncID
+	byMethod map[string][]loFuncID
+	// entry is the must-hold set at function entry (intersection over all
+	// in-program call sites); exported functions and functions with no
+	// observed callers hold nothing at entry.
+	entry     map[loFuncID]map[string]bool
+	accesses  []*lsAccess
+	identHeld map[*ast.Ident][]string
+}
+
+// lockSets builds (once) and returns the shared access summary.
+func (prog *Program) lockSets() *lockSets {
+	if prog.locksets == nil {
+		prog.locksets = buildLockSets(prog)
+	}
+	return prog.locksets
+}
+
+// effectiveHeld is the interprocedural lockset at an access: the locks
+// held locally plus, for synchronous code, the locks held at every call
+// site of the enclosing function. Goroutine bodies start with nothing
+// held regardless of their spawner.
+func (ls *lockSets) effectiveHeld(a *lsAccess) []string {
+	out := append([]string(nil), a.held...)
+	if !a.async {
+		for k := range ls.entry[a.fn] {
+			if !containsStr(out, k) {
+				out = append(out, k)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func buildLockSets(prog *Program) *lockSets {
+	ls := &lockSets{
+		prog:      prog,
+		structs:   collectStructs(prog),
+		sums:      map[loFuncID]*lsSummary{},
+		byMethod:  map[string][]loFuncID{},
+		entry:     map[loFuncID]map[string]bool{},
+		identHeld: map[*ast.Ident][]string{},
+	}
+	for _, p := range prog.Packages {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				id := loFuncID{pkg: p.Rel, recv: recvTypeName(fn), name: fn.Name.Name}
+				ls.sums[id] = &lsSummary{id: id, pkg: p}
+				ls.order = append(ls.order, id)
+				if id.recv != "" {
+					ls.byMethod[id.name] = append(ls.byMethod[id.name], id)
+				}
+			}
+		}
+	}
+	for _, p := range prog.Packages {
+		for _, f := range p.Files {
+			imports := importNames(f)
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				id := loFuncID{pkg: p.Rel, recv: recvTypeName(fn), name: fn.Name.Name}
+				w := &lsWalker{
+					ls: ls, p: p, imports: imports,
+					fn: id, fnName: funcScopeName(id), sum: ls.sums[id],
+					fresh: newFreshness(p, fn),
+				}
+				w.walkBody(fn.Body, nil, false)
+			}
+		}
+	}
+	ls.propagateEntry()
+	return ls
+}
+
+// collectStructs classifies every named struct's fields program-wide.
+func collectStructs(prog *Program) map[string]*lsStruct {
+	out := map[string]*lsStruct{}
+	for _, p := range prog.Packages {
+		for _, f := range p.Files {
+			imports := importNames(f)
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					info := &lsStruct{key: p.Rel + "." + ts.Name.Name, fields: map[string]lsFieldKind{}}
+					for _, field := range st.Fields.List {
+						kind, latch := classifyFieldType(imports, field.Type)
+						for _, name := range fieldNames(field) {
+							if name == "_" {
+								continue
+							}
+							info.fields[name] = kind
+						}
+						if latch {
+							info.latched = true
+						}
+					}
+					out[info.key] = info
+				}
+			}
+		}
+	}
+	return out
+}
+
+// classifyFieldType maps a field's type expression to its lockset role and
+// reports whether it is a struct-level latch (a direct or embedded
+// sync.Mutex/RWMutex; per-slot latch arrays guard elements, not siblings).
+func classifyFieldType(imports map[string]string, t ast.Expr) (lsFieldKind, bool) {
+	switch x := t.(type) {
+	case *ast.ParenExpr:
+		return classifyFieldType(imports, x.X)
+	case *ast.StarExpr:
+		return classifyFieldType(imports, x.X)
+	case *ast.IndexExpr: // generic instantiation, e.g. atomic.Pointer[T]
+		return classifyFieldType(imports, x.X)
+	case *ast.IndexListExpr:
+		return classifyFieldType(imports, x.X)
+	case *ast.ArrayType:
+		kind, _ := classifyFieldType(imports, x.Elt)
+		return kind, false
+	case *ast.SelectorExpr:
+		pkgID, ok := x.X.(*ast.Ident)
+		if !ok {
+			return lsPlain, false
+		}
+		path, ok := imports[pkgID.Name]
+		if !ok {
+			return lsPlain, false
+		}
+		if e, ok := knownTypes[path+"."+x.Sel.Name]; ok {
+			switch e.kind {
+			case fsMutex:
+				latch := path == "sync" && (x.Sel.Name == "Mutex" || x.Sel.Name == "RWMutex")
+				return lsSync, latch
+			case fsAtomic:
+				return lsAtomic, false
+			}
+		}
+	}
+	return lsPlain, false
+}
+
+// namedTypeKey resolves an expression's named struct type to its
+// program-wide key "pkgRel.TypeName", unwrapping pointers; "" when the
+// permissive check could not type it or the type is external.
+func namedTypeKey(p *Package, e ast.Expr) string {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	t := tv.Type
+	for {
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+			continue
+		}
+		break
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return ""
+	}
+	return n.Obj().Pkg().Path() + "." + n.Obj().Name()
+}
+
+// lsWalker simulates held locks through one function body — mirroring
+// loWalker's branch-merging approximation — while recording every tracked
+// field access and the held set at every identifier (for goescape).
+type lsWalker struct {
+	ls      *lockSets
+	p       *Package
+	imports map[string]string
+	fn      loFuncID
+	fnName  string
+	sum     *lsSummary
+	fresh   *lsFreshness
+
+	held  []heldLock
+	async bool
+}
+
+func (w *lsWalker) heldKeys() []string {
+	var keys []string
+	for _, h := range w.held {
+		keys = append(keys, h.key)
+	}
+	return keys
+}
+
+func (w *lsWalker) walkBody(body ast.Node, held []heldLock, async bool) {
+	prevHeld, prevAsync := w.held, w.async
+	w.held, w.async = held, async
+	w.walkNode(body)
+	w.held, w.async = prevHeld, prevAsync
+}
+
+func (w *lsWalker) walkNode(n ast.Node) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// Arguments evaluate synchronously; the body runs concurrently
+			// with an empty held set.
+			for _, arg := range n.Call.Args {
+				w.walkNode(arg)
+			}
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				w.walkBody(lit.Body, nil, true)
+			}
+			return false
+		case *ast.DeferStmt:
+			// Deferred unlocks release at return: the lock stays held for
+			// the rest of the body. Deferred closures are not walked.
+			return false
+		case *ast.FuncLit:
+			// Non-go closures execute inline with the same held set.
+			w.walkNode(n.Body)
+			return false
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				w.walkNode(rhs)
+			}
+			for _, lhs := range n.Lhs {
+				w.lvalue(lhs)
+			}
+			return false
+		case *ast.IncDecStmt:
+			w.lvalue(n.X)
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if owner, _, _ := w.fieldSelUnder(n.X); owner != "" {
+					// Address-of neither reads nor writes the field; the
+					// atomic.*(&s.f, ...) form is consumed by call().
+					// Skipping keeps aliases out of the plain-access sets.
+					w.touchIdents(n.X)
+					return false
+				}
+			}
+			return true
+		case *ast.SelectorExpr:
+			if owner, field, base := w.fieldSel(n); owner != "" {
+				w.access(owner, field, n.Sel.Pos(), false, false, base)
+				w.walkNode(n.X)
+				return false
+			}
+			return true
+		case *ast.CallExpr:
+			w.call(n)
+			return false
+		case *ast.Ident:
+			w.ls.identHeld[n] = w.heldKeys()
+			return true
+		}
+		return true
+	})
+}
+
+// lvalue records the outermost tracked field write in an assignment
+// target, walking index expressions and selector bases as reads.
+func (w *lsWalker) lvalue(e ast.Expr) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			w.walkNode(x.Index)
+			e = x.X
+		case *ast.SliceExpr:
+			w.walkNode(x.Low)
+			w.walkNode(x.High)
+			w.walkNode(x.Max)
+			e = x.X
+		case *ast.SelectorExpr:
+			if owner, field, base := w.fieldSel(x); owner != "" {
+				w.access(owner, field, x.Sel.Pos(), true, false, base)
+				w.walkNode(x.X)
+				return
+			}
+			e = x.X
+		case *ast.Ident:
+			w.ls.identHeld[x] = w.heldKeys()
+			return
+		default:
+			w.walkNode(e)
+			return
+		}
+	}
+}
+
+// fieldSel matches a selector that reads or writes a data field of a
+// tracked struct; method selectors fail the field-name check.
+func (w *lsWalker) fieldSel(sel *ast.SelectorExpr) (owner, field string, base ast.Expr) {
+	key := namedTypeKey(w.p, sel.X)
+	if key == "" {
+		return "", "", nil
+	}
+	st := w.ls.structs[key]
+	if st == nil {
+		return "", "", nil
+	}
+	if _, ok := st.fields[sel.Sel.Name]; !ok {
+		return "", "", nil
+	}
+	return key, sel.Sel.Name, sel.X
+}
+
+// fieldSelUnder unwraps parens/indexing/derefs to the field selector, so
+// t.heads[i] and (&s.f) resolve to their field.
+func (w *lsWalker) fieldSelUnder(e ast.Expr) (owner, field string, base ast.Expr) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			return w.fieldSel(x)
+		default:
+			return "", "", nil
+		}
+	}
+}
+
+// touchIdents records the current held set for every identifier in a
+// subtree that walkNode skips, keeping goescape's position map complete.
+func (w *lsWalker) touchIdents(n ast.Node) {
+	if n == nil {
+		return
+	}
+	held := w.heldKeys()
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok {
+			w.ls.identHeld[id] = held
+		}
+		return true
+	})
+}
+
+// access records one tracked field access with its context.
+func (w *lsWalker) access(owner, field string, pos token.Pos, write, atomic bool, base ast.Expr) {
+	st := w.ls.structs[owner]
+	if st.fields[field] == lsSync {
+		return // latch fields are lock events, not data
+	}
+	exempt := false
+	if root := rootIdent(base); root != nil {
+		if obj := objOf(w.p, root); obj != nil && w.fresh.freshAt(obj, pos) {
+			exempt = true
+		}
+	}
+	w.ls.accesses = append(w.ls.accesses, &lsAccess{
+		owner: owner, field: field, write: write, atomic: atomic,
+		async: w.async, exempt: exempt, held: w.heldKeys(),
+		fn: w.fn, pos: pos, fset: w.p.Fset,
+	})
+}
+
+// atomicMethods are the value-type methods of sync/atomic.
+var atomicMethods = map[string]bool{
+	"Load": true, "Store": true, "Add": true, "Swap": true,
+	"CompareAndSwap": true, "Or": true, "And": true,
+}
+
+// atomicWrites reports whether an atomic operation name mutates.
+func atomicWrites(name string) bool {
+	return !strings.HasPrefix(name, "Load")
+}
+
+// call handles one call expression: lock events mutate the held set,
+// sync/atomic operations become atomic accesses, everything else becomes
+// a callgraph edge for the entry-set fixpoint.
+func (w *lsWalker) call(call *ast.CallExpr) {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		switch sel.Sel.Name {
+		case "Lock", "RLock":
+			key, expr := lockKeyIn(w.p, w.fnName, sel.X)
+			w.touchIdents(sel.X)
+			w.held = append(w.held, heldLock{key: key, expr: expr})
+			return
+		case "Unlock", "RUnlock":
+			key, _ := lockKeyIn(w.p, w.fnName, sel.X)
+			w.touchIdents(sel.X)
+			for i := len(w.held) - 1; i >= 0; i-- {
+				if w.held[i].key == key {
+					w.held = append(w.held[:i:i], w.held[i+1:]...)
+					break
+				}
+			}
+			return
+		}
+		// Method call on an atomic-typed field: s.size.Add(1),
+		// t.heads[i].CompareAndSwap(old, new).
+		if owner, field, base := w.fieldSelUnder(sel.X); owner != "" {
+			if w.ls.structs[owner].fields[field] == lsAtomic && atomicMethods[sel.Sel.Name] {
+				w.access(owner, field, sel.X.Pos(), atomicWrites(sel.Sel.Name), true, base)
+				w.touchIdents(sel.X)
+				for _, arg := range call.Args {
+					w.walkNode(arg)
+				}
+				return
+			}
+		}
+		// Package function on a plain field: atomic.AddInt64(&s.n, 1).
+		if name, ok := pkgCall(call, w.imports, "sync/atomic"); ok {
+			for i, arg := range call.Args {
+				if i == 0 {
+					if un, ok := arg.(*ast.UnaryExpr); ok && un.Op == token.AND {
+						if owner, field, base := w.fieldSelUnder(un.X); owner != "" {
+							w.access(owner, field, un.X.Pos(), atomicWrites(name), true, base)
+							w.touchIdents(un.X)
+							continue
+						}
+					}
+				}
+				w.walkNode(arg)
+			}
+			return
+		}
+	}
+	for _, arg := range call.Args {
+		w.walkNode(arg)
+	}
+	w.walkNode(call.Fun)
+	exists := func(id loFuncID) bool { _, ok := w.ls.sums[id]; return ok }
+	callees := resolveCalleesIn(w.ls.prog, w.p, w.imports, exists, w.ls.byMethod, call)
+	if len(callees) > 0 {
+		w.sum.calls = append(w.sum.calls, loCall{callees: callees, held: w.heldKeys(), pos: call.Pos()})
+	}
+}
+
+// propagateEntry computes the must-hold entry set of every unexported
+// function: the intersection over all in-program call sites of the
+// caller's entry set plus the locks held at the site. Exported functions,
+// init, main, and functions with no observed callers are roots holding
+// nothing — tests and external callers reach them freely. The iteration
+// only ever shrinks sets, so it terminates through recursion.
+func (ls *lockSets) propagateEntry() {
+	type site struct {
+		caller loFuncID
+		held   []string
+	}
+	callers := map[loFuncID][]site{}
+	called := map[loFuncID]bool{}
+	for _, id := range ls.order {
+		for _, c := range ls.sums[id].calls {
+			for _, callee := range c.callees {
+				if _, ok := ls.sums[callee]; !ok {
+					continue
+				}
+				callers[callee] = append(callers[callee], site{caller: id, held: c.held})
+				called[callee] = true
+			}
+		}
+	}
+	isRoot := func(id loFuncID) bool {
+		return !called[id] || ast.IsExported(id.name) || id.name == "init" || id.name == "main"
+	}
+	for _, id := range ls.order {
+		if isRoot(id) {
+			ls.entry[id] = map[string]bool{}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, id := range ls.order {
+			if isRoot(id) {
+				continue
+			}
+			var next map[string]bool
+			for _, s := range callers[id] {
+				ce, ok := ls.entry[s.caller]
+				if !ok {
+					continue // caller unconstrained so far
+				}
+				cand := map[string]bool{}
+				for k := range ce {
+					cand[k] = true
+				}
+				for _, k := range s.held {
+					cand[k] = true
+				}
+				if next == nil {
+					next = cand
+					continue
+				}
+				for k := range next {
+					if !cand[k] {
+						delete(next, k)
+					}
+				}
+			}
+			if next == nil {
+				continue
+			}
+			cur, ok := ls.entry[id]
+			if !ok {
+				ls.entry[id] = next
+				changed = true
+				continue
+			}
+			for k := range cur {
+				if !next[k] {
+					delete(cur, k)
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// lsFreshness tracks, per function body, which locals hold provably
+// unpublished values — the constructor/single-goroutine-init heuristic.
+type lsFreshness struct {
+	p         *Package
+	freshFrom map[types.Object]token.Pos
+	unfresh   map[types.Object]token.Pos // first reassignment to a shared value
+	pub       map[types.Object]token.Pos // first flow into go/send/global
+}
+
+// newFreshness scans a function body in syntactic order, classifying
+// local bindings as fresh (composite literal, new/make, constructor call,
+// or propagation from another fresh local) and recording where each fresh
+// value publishes.
+func newFreshness(p *Package, fn *ast.FuncDecl) *lsFreshness {
+	fr := &lsFreshness{
+		p:         p,
+		freshFrom: map[types.Object]token.Pos{},
+		unfresh:   map[types.Object]token.Pos{},
+		pub:       map[types.Object]token.Pos{},
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				for _, lhs := range n.Lhs {
+					if _, ok := lhs.(*ast.Ident); !ok {
+						fr.publishTarget(lhs, nil, n.Pos())
+					}
+				}
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					fr.publishTarget(lhs, n.Rhs[i], n.Pos())
+					continue
+				}
+				obj := objOf(p, id)
+				if obj == nil || id.Name == "_" {
+					continue
+				}
+				if isGlobalObj(obj) {
+					fr.publishExpr(n.Rhs[i], n.Pos())
+					continue
+				}
+				if fr.isFreshExpr(n.Rhs[i], n.Pos()) {
+					if _, ok := fr.freshFrom[obj]; !ok {
+						fr.freshFrom[obj] = n.Pos()
+					}
+				} else if _, ok := fr.freshFrom[obj]; ok {
+					if _, done := fr.unfresh[obj]; !done {
+						fr.unfresh[obj] = n.Pos()
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, id := range n.Names {
+				obj := p.Info.Defs[id]
+				if obj == nil || id.Name == "_" {
+					continue
+				}
+				if len(n.Values) == 0 || (i < len(n.Values) && fr.isFreshExpr(n.Values[i], id.Pos())) {
+					fr.freshFrom[obj] = id.Pos()
+				}
+			}
+		case *ast.GoStmt:
+			fr.publishExpr(n.Call, n.Pos())
+			return false
+		case *ast.SendStmt:
+			fr.publishExpr(n.Value, n.Pos())
+		}
+		return true
+	})
+	return fr
+}
+
+// publishTarget handles a store through a selector/index target: storing
+// into a fresh local keeps the structure private; storing anywhere else
+// publishes the fresh values on the right-hand side.
+func (fr *lsFreshness) publishTarget(lhs, rhs ast.Expr, pos token.Pos) {
+	if root := rootIdent(lhs); root != nil {
+		if obj := objOf(fr.p, root); obj != nil && !isGlobalObj(obj) && fr.freshAt(obj, pos) {
+			return
+		}
+	}
+	fr.publishExpr(rhs, pos)
+}
+
+// publishExpr marks every fresh local referenced in the expression as
+// published at pos.
+func (fr *lsFreshness) publishExpr(e ast.Expr, pos token.Pos) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := objOf(fr.p, id)
+		if obj == nil {
+			return true
+		}
+		if _, fresh := fr.freshFrom[obj]; !fresh {
+			return true
+		}
+		if cur, ok := fr.pub[obj]; !ok || pos < cur {
+			fr.pub[obj] = pos
+		}
+		return true
+	})
+}
+
+// isFreshExpr reports whether an expression yields a provably unaliased
+// value at pos: literals, new/make, New*/new* constructor calls, or a
+// still-fresh local.
+func (fr *lsFreshness) isFreshExpr(e ast.Expr, pos token.Pos) bool {
+	switch x := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.ParenExpr:
+		return fr.isFreshExpr(x.X, pos)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return fr.isFreshExpr(x.X, pos)
+		}
+	case *ast.CallExpr:
+		switch fun := x.Fun.(type) {
+		case *ast.Ident:
+			if fun.Name == "new" || fun.Name == "make" ||
+				strings.HasPrefix(fun.Name, "new") || strings.HasPrefix(fun.Name, "New") {
+				return true
+			}
+		case *ast.SelectorExpr:
+			if strings.HasPrefix(fun.Sel.Name, "New") {
+				return true
+			}
+		}
+	case *ast.Ident:
+		obj := objOf(fr.p, x)
+		return obj != nil && fr.freshAt(obj, pos)
+	}
+	return false
+}
+
+// freshAt reports whether obj still holds an unpublished fresh value at
+// pos.
+func (fr *lsFreshness) freshAt(obj types.Object, pos token.Pos) bool {
+	from, ok := fr.freshFrom[obj]
+	if !ok || pos < from {
+		return false
+	}
+	if up, ok := fr.unfresh[obj]; ok && pos >= up {
+		return false
+	}
+	if pp, ok := fr.pub[obj]; ok && pos >= pp {
+		return false
+	}
+	return true
+}
+
+// objOf resolves an identifier to its object via Uses then Defs.
+func objOf(p *Package, id *ast.Ident) types.Object {
+	if obj := p.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return p.Info.Defs[id]
+}
+
+// isGlobalObj reports whether the object is package-scoped.
+func isGlobalObj(obj types.Object) bool {
+	return obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()
+}
+
+func containsStr(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}
+
+func intersectsStr(a, b []string) bool {
+	for _, x := range a {
+		if containsStr(b, x) {
+			return true
+		}
+	}
+	return false
+}

@@ -28,6 +28,9 @@ func TestProgramAnalyzersAgainstFixtures(t *testing.T) {
 	}{
 		{LockOrder{}, "lockorder.go"},
 		{NewFalseShareArch("amd64"), "falseshare.go"},
+		{GuardInfer{}, "guardinfer.go"},
+		{AtomicMix{}, "atomicmix.go"},
+		{GoEscape{}, "goescape.go"},
 	}
 	for _, tc := range table {
 		t.Run(tc.analyzer.Name(), func(t *testing.T) {

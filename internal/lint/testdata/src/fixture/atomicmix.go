@@ -1,0 +1,91 @@
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Positive and negative controls for the atomicmix rule.
+
+// amMixed mixes sync/atomic and plain access on the seeded fields.
+//
+//lint:allow falseshare fixture seeds atomicmix; the latch/atomic layout is irrelevant here
+type amMixed struct {
+	n     int64        // atomic.AddInt64 in one place, plain loads/stores in others
+	c     atomic.Int64 // methods everywhere except the seeded plain copy
+	mu    sync.Mutex
+	gated int64        // atomic and plain sides both under mu: legal
+	plain int64        // never atomic: quiet
+	clean atomic.Int64 // methods only: quiet
+}
+
+// IncAtomic is the atomic side of n.
+func (m *amMixed) IncAtomic() {
+	atomic.AddInt64(&m.n, 1)
+}
+
+// ReadPlain is the seeded plain read racing the atomic sites.
+func (m *amMixed) ReadPlain() int64 {
+	return m.n // want atomicmix
+}
+
+// StorePlain is the seeded plain store racing the atomic sites.
+func (m *amMixed) StorePlain(v int64) {
+	m.n = v // want atomicmix
+}
+
+// AddC is the atomic side of c.
+func (m *amMixed) AddC() {
+	m.c.Add(1)
+}
+
+// CopyC copies the atomic value plainly instead of calling Load.
+func (m *amMixed) CopyC() int64 {
+	v := m.c // want atomicmix
+	return v.Load()
+}
+
+// GatedAtomic and GatedPlain both hold mu, which orders them: quiet.
+func (m *amMixed) GatedAtomic() {
+	m.mu.Lock()
+	atomic.AddInt64(&m.gated, 1)
+	m.mu.Unlock()
+}
+
+func (m *amMixed) GatedPlain() int64 {
+	m.mu.Lock()
+	v := m.gated
+	m.mu.Unlock()
+	return v
+}
+
+// PlainOnly never touches atomics: quiet.
+func (m *amMixed) PlainOnly() {
+	m.plain++
+}
+
+// CleanAtomic uses methods only: quiet.
+func (m *amMixed) CleanAtomic() int64 {
+	m.clean.Store(7)
+	return m.clean.Load()
+}
+
+// newAMMixed initializes plainly before publication: exempt.
+func newAMMixed() *amMixed {
+	m := &amMixed{}
+	m.n = 5
+	return m
+}
+
+func touchAtomicMixFixture() {
+	m := newAMMixed()
+	m.IncAtomic()
+	_ = m.ReadPlain()
+	m.StorePlain(9)
+	m.AddC()
+	_ = m.CopyC()
+	m.GatedAtomic()
+	_ = m.GatedPlain()
+	m.PlainOnly()
+	_ = m.CleanAtomic()
+}

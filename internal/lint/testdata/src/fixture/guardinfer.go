@@ -1,0 +1,99 @@
+package fixture
+
+import "sync"
+
+// Positive and negative controls for the guardinfer lockset analysis.
+
+// giCounter carries a latch, so its plain fields are guard-inferred.
+//
+//lint:allow falseshare fixture seeds guardinfer; the two-mutex layout is irrelevant here
+type giCounter struct {
+	mu    sync.Mutex
+	count int // guarded by mu everywhere except the seeded violations
+	muB   sync.Mutex
+	both  int // written under mu (majority) and once under muB (disjoint)
+	free  int // never written under any lock: confined, no discipline
+}
+
+var giPublished *giCounter
+
+// IncLocked is the guarded majority for count.
+func (g *giCounter) IncLocked() {
+	g.mu.Lock()
+	g.count++
+	g.mu.Unlock()
+}
+
+// IncUnlocked is the seeded empty-lockset violation.
+func (g *giCounter) IncUnlocked() {
+	g.count++ // want guardinfer
+}
+
+// incBody inherits mu from its only call site: the interprocedural
+// entry-set must keep this clean.
+func (g *giCounter) incBody() {
+	g.count++
+}
+
+// IncViaHelper calls incBody with mu held on every path.
+func (g *giCounter) IncViaHelper() {
+	g.mu.Lock()
+	g.incBody()
+	g.mu.Unlock()
+}
+
+// SetBothA and SetBothA2 make mu the majority guard for both.
+func (g *giCounter) SetBothA(v int) {
+	g.mu.Lock()
+	g.both = v
+	g.mu.Unlock()
+}
+
+func (g *giCounter) SetBothA2(v int) {
+	g.mu.Lock()
+	g.both = v
+	g.mu.Unlock()
+}
+
+// SetBothB is the seeded disjoint-lockset violation: muB orders nothing
+// against the mu writers.
+func (g *giCounter) SetBothB(v int) {
+	g.muB.Lock()
+	g.both = v // want guardinfer
+	g.muB.Unlock()
+}
+
+// Touch keeps free write-reachable without a lock anywhere: a field with
+// no guarded writes has no inferable discipline and stays quiet.
+func (g *giCounter) Touch() {
+	g.free++
+}
+
+// newGICounter writes without the latch before the value can be shared:
+// the publication heuristic must keep the constructor quiet.
+func newGICounter() *giCounter {
+	g := &giCounter{}
+	g.count = 1
+	return g
+}
+
+// newGIPublished stores the fresh value into a global and keeps writing:
+// past the publication point the exemption must end.
+func newGIPublished() *giCounter {
+	g := &giCounter{}
+	giPublished = g
+	g.count = 2 // want guardinfer
+	return g
+}
+
+func touchGuardInferFixture() {
+	g := newGICounter()
+	g.IncLocked()
+	g.IncUnlocked()
+	g.IncViaHelper()
+	g.SetBothA(1)
+	g.SetBothA2(2)
+	g.SetBothB(3)
+	g.Touch()
+	_ = newGIPublished()
+}

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # bench.sh — short benchmark sweeps, machine-readable.
 #
-# Two modes:
+# Three modes:
 #
 #   ./scripts/bench.sh [out.json]           # algorithms -> BENCH_2.json
 #   ./scripts/bench.sh kernels [out.json]   # kernel layer -> BENCH_3.json
+#   ./scripts/bench.sh -compare BENCH.json  # kernel sweep vs recorded JSON
 #
 # The default mode runs the BenchmarkJoin microbenchmark over the eight
 # studied algorithms (see bench_test.go) and writes the parsed results as
@@ -20,8 +21,64 @@
 # Sweeps are intentionally short (BENCHTIME defaults to 1x for algorithms,
 # 100x for kernels): regression tripwires and JSON schema anchors, not
 # rigorous measurements — raise BENCHTIME for one.
+#
+# The -compare mode is the perf-regression gate (`make bench-gate`): it
+# runs a fresh kernel sweep and checks every (kernel, variant) pair's
+# ns/op against the recorded file, exiting 1 if any pair slowed down by
+# more than TOLERANCE_PCT percent (default 10) or a recorded variant
+# vanished. New variants with no recorded value are reported, not failed.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "-compare" ]; then
+    BASE="${2:-}"
+    if [ -z "$BASE" ]; then
+        echo "bench.sh: -compare needs a recorded BENCH json (e.g. BENCH_3.json)" >&2
+        exit 2
+    fi
+    if [ ! -f "$BASE" ]; then
+        echo "bench.sh: recorded baseline $BASE not found" >&2
+        exit 2
+    fi
+    CUR="$(mktemp /tmp/iawj-bench-compare.XXXXXX.json)"
+    trap 'rm -f "$CUR"' EXIT
+    bash scripts/bench.sh kernels "$CUR" >/dev/null
+    awk -v tol="${TOLERANCE_PCT:-10}" '
+    # parse pulls id ("kernel/variant") and ns (ns_per_op) out of one
+    # results line; both files use the line-parseable one-object-per-line
+    # layout the kernels mode emits.
+    function parse(line,    k, v, n) {
+        k = line; sub(/.*"kernel": "/, "", k); sub(/".*/, "", k)
+        v = line; sub(/.*"variant": "/, "", v); sub(/".*/, "", v)
+        n = line; sub(/.*"ns_per_op": /, "", n); sub(/[,}].*/, "", n)
+        id = k "/" v; ns = n + 0
+    }
+    FNR == NR { if ($0 ~ /"kernel"/) { parse($0); old[id] = ns } next }
+    $0 ~ /"kernel"/ {
+        parse($0)
+        if (!(id in old)) {
+            printf "bench.sh: %-22s NEW       %12.0f ns/op (no recorded value)\n", id, ns
+            next
+        }
+        seen[id] = 1
+        delta = (ns - old[id]) * 100.0 / old[id]
+        verdict = "ok"
+        if (delta > tol) { verdict = "REGRESSED"; bad++ }
+        printf "bench.sh: %-22s %-9s %12.0f -> %.0f ns/op (%+.1f%%)\n", id, verdict, old[id], ns, delta
+    }
+    END {
+        for (id in old) if (!(id in seen)) {
+            printf "bench.sh: %-22s MISSING   recorded variant produced no result\n", id
+            bad++
+        }
+        if (bad > 0) {
+            printf "bench.sh: %d kernel variant(s) regressed past %d%%\n", bad, tol > "/dev/stderr"
+            exit 1
+        }
+        printf "bench.sh: no kernel regression past %d%%\n", tol
+    }' "$BASE" "$CUR"
+    exit 0
+fi
 
 MODE="algorithms"
 if [ "${1:-}" = "kernels" ]; then

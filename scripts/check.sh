@@ -6,7 +6,9 @@
 #   2. go vet       stdlib static analysis
 #   3. go build     the tree compiles
 #   4. iawjlint     repo-specific analyzers: per-package rules plus the
-#                   whole-program lockorder/falseshare passes (LINTING.md)
+#                   whole-program lockorder/falseshare passes and the
+#                   static race rules guardinfer/atomicmix/goescape
+#                   (LINTING.md; `make lint-race` runs just the latter)
 #   5. escapegate   `go build -gcflags=-m=2` escape diagnostics anchored
 #                   to //iawj:hotpath loops — the static AllocsPerRun gate
 #   6. go test      tier-1 verify
