@@ -6,7 +6,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: check build test lint lint-json lint-sarif lint-race escapegate race trace-smoke bench bench-kernels bench-smoke bench-gate fuzz-smoke conform conform-full fmt
+.PHONY: check build test lint lint-json lint-sarif lint-race escapegate race trace-smoke bench bench-kernels bench-smoke bench-gate fuzz-smoke conform conform-full report-smoke fmt
 
 ## check: run the full CI gate (fmt, vet, build, lint, test, race, fuzz)
 check:
@@ -81,6 +81,14 @@ conform:
 ## conform-full: the full differential + metamorphic conformance sweep
 conform-full:
 	$(GO) run ./cmd/iawjconform
+
+## report-smoke: windowed two-algorithm sweep -> journal -> iawjreport self-compare
+report-smoke:
+	rm -f /tmp/iawj-report-smoke.jsonl
+	$(GO) run ./cmd/iawjjoin -workload Stock -scale 0.002 -atrest -algorithm NPJ -windowms 50 -journal /tmp/iawj-report-smoke.jsonl >/dev/null
+	$(GO) run ./cmd/iawjjoin -workload Stock -scale 0.002 -atrest -algorithm SHJ_JM -windowms 50 -journal /tmp/iawj-report-smoke.jsonl >/dev/null
+	$(GO) run ./cmd/iawjreport -self /tmp/iawj-report-smoke.jsonl
+	rm -f /tmp/iawj-report-smoke.jsonl
 
 ## fmt: apply gofmt to the tree
 fmt:

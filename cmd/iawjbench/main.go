@@ -44,6 +44,7 @@ func main() {
 		listen    = flag.String("listen", "", "serve /metrics, /debug/pprof and /debug/vars on this address")
 		spanCap   = flag.Int("spancap", 0, "trace ring capacity per worker (0 = default)")
 		traceTIDs = flag.Int("tracetids", 0, "trace worker slots (0 = max(threads, GOMAXPROCS))")
+		sample    = flag.Duration("sample", 0, "record runtime samples (GC, heap, goroutines) at this interval (0 = off)")
 	)
 	flag.Parse()
 
@@ -74,7 +75,14 @@ func main() {
 		opts.Trace = rec
 	}
 
+	var smp *trace.Sampler
+	if *sample > 0 {
+		smp = trace.NewSampler(*sample, 0)
+		smp.Start()
+		defer smp.Stop()
+	}
 	reg := trace.NewRegistry()
+	reg.AttachSampler(smp)
 	var jw *trace.JournalWriter
 	if *journal != "" {
 		f, err := os.Create(*journal)
@@ -84,6 +92,11 @@ func main() {
 		}
 		defer f.Close()
 		jw = trace.NewJournalWriter(f)
+		jw.Attach(rec, smp)
+		if err := jw.WriteHeader(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 	if *journal != "" || *listen != "" {
 		opts.OnResult = func(res metrics.Result) {

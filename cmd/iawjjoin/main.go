@@ -8,6 +8,13 @@
 //	iawjjoin -inR trades.csv -inS quotes.csv -algorithm SHJ_JM
 //	iawjjoin -workload Rovio -scale 0.01 -algorithm ADAPTIVE -format json
 //	iawjjoin -listen 127.0.0.1:7654 -algorithm NPJ   # waits for R and S streams
+//
+// With -windowms the inputs are sliced into tumbling (or, with -slide,
+// sliding) windows and joined per window pair; a -journal then records the
+// per-window run ledger (iawj-journal/v2 window records) that
+// cmd/iawjreport compares.
+//
+//	iawjjoin -workload Stock -windowms 50 -journal runs.jsonl -algorithm SHJ_JM
 package main
 
 import (
@@ -41,8 +48,11 @@ func main() {
 		format    = flag.String("format", "text", "output format: text | json")
 		seed      = flag.Uint64("seed", 42, "seed for synthetic workloads")
 		traceOut  = flag.String("trace", "", "write per-worker phase spans as Chrome trace JSON to this file")
-		journal   = flag.String("journal", "", "append a JSONL run summary to this file")
+		journal   = flag.String("journal", "", "append JSONL run/window records to this file (iawj-journal/v2)")
 		serve     = flag.String("serve", "", "serve /metrics, /debug/pprof and /debug/vars on this address")
+		windowMs  = flag.Int64("windowms", 0, "slice inputs into windows of this many ms and join per window (0 = one window)")
+		slideMs   = flag.Int64("slide", 0, "slide of the window in ms (with -windowms; 0 = tumbling)")
+		sample    = flag.Duration("sample", 0, "record runtime samples (GC, heap, goroutines) at this interval (0 = off)")
 	)
 	flag.Parse()
 
@@ -71,9 +81,16 @@ func main() {
 		rec = iawj.NewTraceRecorder(tids, 0)
 		cfg.Trace = rec
 	}
+	var smp *trace.Sampler
+	if *sample > 0 {
+		smp = trace.NewSampler(*sample, 0)
+		smp.Start()
+		defer smp.Stop()
+	}
 	reg := trace.NewRegistry()
 	if *serve != "" {
 		reg.Attach(rec)
+		reg.AttachSampler(smp)
 		addr, err := trace.Serve(*serve, reg, nil)
 		if err != nil {
 			fatal(err)
@@ -81,36 +98,41 @@ func main() {
 		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics\n", addr)
 	}
 
+	var jw *trace.JournalWriter
+	var jf *os.File
+	if *journal != "" {
+		jf, err = os.OpenFile(*journal, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		jw = trace.NewJournalWriter(jf)
+		jw.Attach(rec, smp)
+		if err := jw.WriteHeader(); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *windowMs > 0 {
+		runWindowed(w, cfg, *windowMs, *slideMs, jw, reg, *format)
+		closeJournal(jf)
+		writeTrace(*traceOut, rec)
+		return
+	}
+
 	res, err := iawj.JoinWorkload(w, cfg)
 	if err != nil {
 		fatal(err)
 	}
+	// Stop the sampler before journaling so the run record carries a
+	// sample even when the run was shorter than one interval.
+	smp.Stop()
 	reg.Observe(res)
 
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			fatal(err)
-		}
-		if err := trace.WriteChrome(f, rec); err != nil {
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
+	writeTrace(*traceOut, rec)
+	if err := jw.Write(res); err != nil {
+		fatal(err)
 	}
-	if *journal != "" {
-		f, err := os.OpenFile(*journal, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-		if err != nil {
-			fatal(err)
-		}
-		if err := trace.NewJournalWriter(f).Write(res); err != nil {
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-	}
+	closeJournal(jf)
 
 	switch *format {
 	case "json":
@@ -123,6 +145,94 @@ func main() {
 		printText(w, res)
 	default:
 		fatal(fmt.Errorf("iawjjoin: unknown format %q", *format))
+	}
+}
+
+// runWindowed slices the workload with a tumbling or sliding spec and
+// joins per window; cfg.Journal records the per-window ledger.
+func runWindowed(w gen.Workload, cfg iawj.Config, windowMs, slideMs int64, jw *trace.JournalWriter, reg *trace.Registry, format string) {
+	spec := iawj.WindowSpec{Kind: iawj.Tumbling, LengthMs: windowMs}
+	if slideMs > 0 {
+		spec.Kind = iawj.Sliding
+		spec.SlideMs = slideMs
+	}
+	cfg.Journal = jw
+	results, err := iawj.JoinWindowed(w.R, w.S, spec, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	joined := 0
+	for _, wr := range results {
+		if wr.Result.Algorithm != "" {
+			joined++
+			reg.Observe(wr.Result)
+		}
+	}
+	switch format {
+	case "json":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		type windowReport struct {
+			Window  int         `json:"window"`
+			StartMs int64       `json:"start_ms"`
+			EndMs   int64       `json:"end_ms"`
+			Summary *jsonReport `json:"summary,omitempty"`
+		}
+		out := make([]windowReport, 0, len(results))
+		for i, wr := range results {
+			rep := windowReport{Window: i, StartMs: wr.Start, EndMs: wr.End}
+			if wr.Result.Algorithm != "" {
+				r := report(w, wr.Result)
+				rep.Summary = &r
+			}
+			out = append(out, rep)
+		}
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+	case "text":
+		fmt.Printf("workload    %s (|R|=%d |S|=%d window=%dms slide=%dms)\n",
+			w.Name, len(w.R), len(w.S), windowMs, slideMs)
+		fmt.Printf("windows     %d total, %d joined\n", len(results), joined)
+		fmt.Printf("matches     %d\n", iawj.TotalMatches(results))
+		fmt.Printf("%-8s %10s %10s %-10s %12s %14s %10s\n",
+			"window", "start_ms", "end_ms", "algorithm", "matches", "tuples/ms", "p95_ms")
+		for i, wr := range results {
+			if wr.Result.Algorithm == "" {
+				fmt.Printf("%-8d %10d %10d %-10s %12s %14s %10s\n", i, wr.Start, wr.End, "-", "-", "-", "-")
+				continue
+			}
+			fmt.Printf("%-8d %10d %10d %-10s %12d %14.1f %10d\n",
+				i, wr.Start, wr.End, wr.Result.Algorithm, wr.Result.Matches,
+				wr.Result.ThroughputTPM, wr.Result.LatencyP95Ms)
+		}
+	default:
+		fatal(fmt.Errorf("iawjjoin: unknown format %q", format))
+	}
+}
+
+func writeTrace(path string, rec *iawj.TraceRecorder) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := trace.WriteChrome(f, rec); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+func closeJournal(f *os.File) {
+	if f == nil {
+		return
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
 	}
 }
 

@@ -1,0 +1,136 @@
+// Command iawjreport compares two run journals (iawj-journal/v1 or /v2)
+// and reports per-algorithm / per-window performance deltas with a
+// noise-aware threshold. It exits non-zero when a metric regressed past
+// the threshold, giving CI a latency/phase-level regression gate beside
+// `make bench-gate`'s kernel ns/op comparison.
+//
+// Usage:
+//
+//	iawjreport base.jsonl new.jsonl            # A/B compare two journals
+//	iawjreport -self runs.jsonl                # sanity: a journal vs itself (exit 0)
+//	iawjreport -windows 0,5 runs.jsonl         # window 5 vs window 0 of one journal
+//	iawjreport -threshold 10 -format json a b  # tighter gate, JSON output
+//
+// Journals recorded on different environments (header mismatch: Go
+// version, GOOS/GOARCH, CPU count) are flagged as cross-machine and their
+// regressions do not gate unless -strict is set.
+//
+// Exit codes: 0 no regression, 1 regression (or strict env mismatch),
+// 2 usage or I/O error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/report"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		self      = flag.Bool("self", false, "compare one journal against itself (sanity check; always exits 0 unless the file is unreadable)")
+		windows   = flag.String("windows", "", "compare two windows of one journal: base,new window ids (e.g. 0,5)")
+		threshold = flag.Float64("threshold", 0, "relative noise threshold in percent (default 25)")
+		minLatMs  = flag.Int64("minlatms", 0, "absolute latency floor in ms for a regression (default 2)")
+		minPhase  = flag.Int64("minphasens", 0, "absolute per-phase floor in ns for a regression (default 1e6)")
+		strict    = flag.Bool("strict", false, "fail on environment mismatch between the journals")
+		format    = flag.String("format", "markdown", "output format: markdown | json")
+	)
+	flag.Parse()
+
+	opts := report.Options{
+		ThresholdPct: *threshold,
+		MinLatencyMs: *minLatMs,
+		MinPhaseNs:   *minPhase,
+		Strict:       *strict,
+	}
+
+	var rep *report.Report
+	switch {
+	case *self:
+		if flag.NArg() != 1 {
+			usage("-self takes exactly one journal file")
+		}
+		j := readJournal(flag.Arg(0))
+		rep = report.Compare(j, j, opts)
+	case *windows != "":
+		if flag.NArg() != 1 {
+			usage("-windows takes exactly one journal file")
+		}
+		baseID, curID, err := parseWindowPair(*windows)
+		if err != nil {
+			usage(err.Error())
+		}
+		j := readJournal(flag.Arg(0))
+		rep = report.CompareWindows(j, baseID, curID, opts)
+	default:
+		if flag.NArg() != 2 {
+			usage("pass <base.jsonl> <new.jsonl> (or -self / -windows with one file)")
+		}
+		base := readJournal(flag.Arg(0))
+		cur := readJournal(flag.Arg(1))
+		rep = report.Compare(base, cur, opts)
+	}
+
+	switch *format {
+	case "markdown":
+		rep.WriteMarkdown(os.Stdout)
+	case "json":
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+	default:
+		usage(fmt.Sprintf("unknown format %q", *format))
+	}
+
+	if rep.Failed() {
+		os.Exit(1)
+	}
+}
+
+func parseWindowPair(s string) (int, int, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("-windows wants base,new ids, got %q", s)
+	}
+	base, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return 0, 0, fmt.Errorf("-windows base id %q: %v", parts[0], err)
+	}
+	cur, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return 0, 0, fmt.Errorf("-windows new id %q: %v", parts[1], err)
+	}
+	return base, cur, nil
+}
+
+func readJournal(path string) trace.Journal {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	j, err := trace.ReadJournal(f)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	return j
+}
+
+func usage(msg string) {
+	fmt.Fprintln(os.Stderr, "iawjreport:", msg)
+	fmt.Fprintln(os.Stderr, "usage: iawjreport [flags] <base.jsonl> <new.jsonl>")
+	fmt.Fprintln(os.Stderr, "       iawjreport [flags] -self <runs.jsonl>")
+	fmt.Fprintln(os.Stderr, "       iawjreport [flags] -windows base,new <runs.jsonl>")
+	flag.PrintDefaults()
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "iawjreport:", err)
+	os.Exit(2)
+}

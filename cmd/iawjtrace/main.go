@@ -1,13 +1,20 @@
-// Command iawjtrace validates and summarizes a Chrome trace-event JSON
-// file produced by iawjbench/iawjjoin -trace. It prints a per-algorithm,
-// per-phase span summary and exits non-zero when the file is not a valid
-// trace, contains no spans, or is missing a phase the caller asserts with
-// -want. scripts/check.sh uses it as the trace smoke gate.
+// Command iawjtrace validates, summarizes, and analyzes a Chrome
+// trace-event JSON file produced by iawjbench/iawjjoin -trace. It prints a
+// per-algorithm, per-phase span summary and exits non-zero when the file
+// is not a valid trace, contains no spans, or is missing a phase the
+// caller asserts with -want. A trace recorded with dropped spans warns
+// (non-fatal) on stderr. scripts/check.sh uses it as the trace smoke gate.
+//
+// -stats runs the span analytics engine instead: per-phase worker
+// imbalance, barrier-stall time, the critical-path worker, and straggler
+// detection with an attributed cause (see OBSERVABILITY.md).
 //
 // Usage:
 //
 //	iawjtrace trace.json
 //	iawjtrace -want wait,partition,build/sort,merge,probe,others trace.json
+//	iawjtrace -stats trace.json
+//	iawjtrace -stats -straggler 1.5 trace.json
 package main
 
 import (
@@ -22,12 +29,14 @@ import (
 
 func main() {
 	var (
-		want  = flag.String("want", "", "comma-separated phase names that must appear in the trace")
-		quiet = flag.Bool("q", false, "suppress the summary; only validate")
+		want      = flag.String("want", "", "comma-separated phase names that must appear in the trace")
+		quiet     = flag.Bool("q", false, "suppress the summary; only validate")
+		stats     = flag.Bool("stats", false, "run the span analytics engine: imbalance, barrier stalls, stragglers")
+		straggler = flag.Float64("straggler", 0, "straggler threshold as a multiple of median busy time (0 = default 2.0)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: iawjtrace [-want phases] [-q] <trace.json>")
+		fmt.Fprintln(os.Stderr, "usage: iawjtrace [-want phases] [-q] [-stats] <trace.json>")
 		os.Exit(2)
 	}
 
@@ -42,6 +51,19 @@ func main() {
 	}
 	if len(ct.TraceEvents) == 0 {
 		fatal(fmt.Errorf("iawjtrace: %s contains no trace events", flag.Arg(0)))
+	}
+	// Dropped spans make every total an undercount; always surface them,
+	// but non-fatally — a partial trace still validates and analyzes.
+	if d := ct.OtherData["droppedSpans"]; d != "" && d != "0" {
+		fmt.Fprintf(os.Stderr, "iawjtrace: warning: %s: %s spans were dropped to full rings; totals undercount (raise -spancap when recording)\n",
+			flag.Arg(0), d)
+	}
+
+	if *stats {
+		spans, algName := trace.SpansOfChrome(ct)
+		a := trace.Analyze(spans, algName, *straggler)
+		a.WriteText(os.Stdout)
+		return
 	}
 
 	type key struct{ alg, phase string }

@@ -19,6 +19,7 @@ package iawj
 
 import (
 	"fmt"
+	"io"
 	"sort"
 
 	"repro/internal/cachesim"
@@ -101,7 +102,31 @@ type Config struct {
 	// inject deterministic schedule perturbation (clock.Perturb); see
 	// TESTING.md. Most callers leave it nil.
 	WrapClock func(ClockSource) ClockSource
+
+	// Journal, when non-nil, receives the per-window run ledger: the
+	// JoinWindowed* drivers append one iawj-journal/v2 window record per
+	// completed window (OBSERVABILITY.md). Single-window Join calls
+	// ignore it — their callers write run records directly.
+	Journal *JournalWriter
+
+	// Window tags this run with its windowed-sweep identity; the
+	// JoinWindowed* drivers set it per window, other callers leave it
+	// zero. The tag is stamped into Result.WindowID/WindowStartMs/
+	// WindowEndMs.
+	Window WindowTag
 }
+
+// WindowTag identifies the source window of a windowed-sweep run; see
+// Config.Window.
+type WindowTag = core.WindowTag
+
+// JournalWriter appends iawj-journal/v2 JSONL records; see
+// NewJournalWriter, Config.Journal, and OBSERVABILITY.md.
+type JournalWriter = trace.JournalWriter
+
+// NewJournalWriter wraps w in a concurrency-safe journal writer; each
+// record is one JSON line.
+func NewJournalWriter(w io.Writer) *JournalWriter { return trace.NewJournalWriter(w) }
 
 // ClockSource is the virtual time source algorithms run against; see
 // internal/clock and Config.WrapClock.
@@ -212,6 +237,7 @@ func Join(r, s Relation, cfg Config) (Result, error) {
 		Emit:      cfg.Emit,
 		Pool:      cfg.Pool,
 		WrapClock: cfg.WrapClock,
+		Window:    cfg.Window,
 	})
 }
 

@@ -96,14 +96,26 @@ func (k *Knobs) defaults() {
 	}
 }
 
+// WindowTag identifies the source window of a run inside a windowed
+// sweep. The zero value means "not a windowed run" (or the first window
+// starting at 0 — disambiguated by the driver that sets it).
+type WindowTag struct {
+	ID      int
+	StartMs int64
+	EndMs   int64
+}
+
 // ExecContext is everything an algorithm needs for one run.
 type ExecContext struct {
 	R, S     tuple.Relation
 	WindowMs int64
 	Threads  int
-	Clock    clock.Source
-	M        *metrics.Collector
-	Knobs    Knobs
+	// Window tags a windowed-sweep run with its window identity; the
+	// per-window journal ledger and span analytics attribute through it.
+	Window WindowTag
+	Clock  clock.Source
+	M      *metrics.Collector
+	Knobs  Knobs
 	// Tracer, when non-nil, feeds the cache simulator; profile runs are
 	// single-threaded so the trace is deterministic.
 	Tracer cachesim.Tracer
@@ -231,6 +243,9 @@ type RunConfig struct {
 	// Pool recycles per-window kernel state across runs; nil allocates
 	// fresh state per run (the pre-pool behaviour).
 	Pool *pool.Pool
+	// Window tags the run with its windowed-sweep identity; stamped into
+	// the Result so journal window records can be written downstream.
+	Window WindowTag
 	// WrapClock, when non-nil, wraps the run's time source before any
 	// worker sees it. The conformance harness injects clock.Perturb here
 	// to vary arrival schedules and goroutine interleavings without
@@ -290,6 +305,7 @@ func Run(alg Algorithm, r, s tuple.Relation, windowMs int64, cfg RunConfig) (met
 		S:        s,
 		WindowMs: windowMs,
 		Threads:  threads,
+		Window:   cfg.Window,
 		Clock:    src,
 		M:        metrics.NewCollector(threads),
 		Knobs:    knobs,
@@ -304,5 +320,8 @@ func Run(alg Algorithm, r, s tuple.Relation, windowMs int64, cfg RunConfig) (met
 	}
 	wall := sw.ElapsedNs()
 	res := ctx.M.Snapshot(alg.Name(), int64(len(r)+len(s)), wall)
+	res.WindowID = cfg.Window.ID
+	res.WindowStartMs = cfg.Window.StartMs
+	res.WindowEndMs = cfg.Window.EndMs
 	return res, nil
 }

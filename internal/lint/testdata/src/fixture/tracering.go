@@ -25,8 +25,28 @@ func hotWithTraceClosure(r *trace.Recorder, keys []int) {
 	}
 }
 
+//iawj:hotpath
+func hotRuntimeSampling(s *trace.Sampler, keys []int) int64 {
+	var heap int64
+	for range keys {
+		smp := s.SampleNow() // want tracering
+		heap += smp.HeapLiveBytes
+		if last, ok := s.Latest(); ok { // want tracering
+			heap += last.HeapLiveBytes
+		}
+		heap += int64(len(s.Samples())) // want tracering
+	}
+	return heap
+}
+
 func coldExport(r *trace.Recorder) []trace.Span {
 	// Not annotated: snapshotting and construction are fine off the hot
 	// path.
 	return r.Snapshot()
+}
+
+func coldSampling(s *trace.Sampler) (trace.RuntimeSample, bool) {
+	// Not annotated: the journal/metrics export path reads the sampler.
+	s.SampleNow()
+	return s.Latest()
 }

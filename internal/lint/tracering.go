@@ -37,12 +37,17 @@ func (TraceRing) Severity() Severity { return Error }
 // tracePkgPath is the import path of the span recorder package.
 const tracePkgPath = "repro/internal/trace"
 
-// recorderMethods is the locking Recorder surface, off-limits on hot
-// paths. The Worker ring methods (Begin, End, AddTuples, Record, NowNs)
-// are the sanctioned API and are not listed.
+// recorderMethods is the locking surface of the trace package, off-limits
+// on hot paths. The Worker ring methods (Begin, End, AddTuples, Record,
+// NowNs) are the sanctioned API and are not listed. Besides the Recorder
+// methods this covers the Sampler read surface (SampleNow, Latest,
+// Samples) — every one takes the sampler mutex and SampleNow also reads
+// runtime/metrics; the sampling goroutine and export paths are the only
+// legitimate callers.
 var recorderMethods = map[string]bool{
 	"StartRun": true, "Snapshot": true, "Algorithms": true,
 	"AlgName": true, "Workers": true,
+	"SampleNow": true, "Latest": true, "Samples": true,
 }
 
 // Check implements Analyzer.

@@ -1,6 +1,9 @@
 package metrics
 
-import "testing"
+import (
+	"math/rand"
+	"testing"
+)
 
 // The edge cases of the quantile machinery: empty histograms, a single
 // bucket, and the max-value clamp that keeps bucket lower bounds from
@@ -96,5 +99,61 @@ func TestTimeToFracEmptyProgress(t *testing.T) {
 	var r Result
 	if got := r.TimeToFrac(0.5); got != 0 {
 		t.Errorf("TimeToFrac on empty progress = %d, want 0", got)
+	}
+}
+
+// TestQuantileMonotonicityProperty is the property the regression reports
+// lean on: for any input distribution, p50 <= p95 <= p99 <= max. Random
+// histograms across several size/spread regimes, fixed seed.
+func TestQuantileMonotonicityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	regimes := []struct {
+		name string
+		next func() int64
+	}{
+		{"uniform small", func() int64 { return rng.Int63n(100) }},
+		{"uniform wide", func() int64 { return rng.Int63n(1 << 40) }},
+		{"exponential-ish", func() int64 { return int64(rng.ExpFloat64() * 1e6) }},
+		{"heavy tail", func() int64 {
+			if rng.Intn(100) == 0 {
+				return rng.Int63n(1 << 50)
+			}
+			return rng.Int63n(1000)
+		}},
+		{"constant", func() int64 { return 42 }},
+	}
+	for _, reg := range regimes {
+		for trial := 0; trial < 20; trial++ {
+			var h Histogram
+			n := 1 + rng.Intn(2000)
+			for i := 0; i < n; i++ {
+				h.Record(reg.next(), 1)
+			}
+			p50 := h.Quantile(0.50)
+			p95 := h.Quantile(0.95)
+			p99 := h.Quantile(0.99)
+			max := h.Max()
+			if !(p50 <= p95 && p95 <= p99 && p99 <= max) {
+				t.Fatalf("%s trial %d (n=%d): quantiles not monotone: p50=%d p95=%d p99=%d max=%d",
+					reg.name, trial, n, p50, p95, p99, max)
+			}
+			if q1 := h.Quantile(1.0); q1 > max {
+				t.Fatalf("%s trial %d: p100=%d exceeds max=%d", reg.name, trial, q1, max)
+			}
+		}
+	}
+}
+
+// TestQuantileMonotonicityEmpty pins the empty-histogram edge case: all
+// quantiles and the max are zero, trivially monotone.
+func TestQuantileMonotonicityEmpty(t *testing.T) {
+	var h Histogram
+	for _, q := range []float64{0.5, 0.95, 0.99, 1.0} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%.2f) = %d, want 0", q, got)
+		}
+	}
+	if h.Max() != 0 {
+		t.Errorf("empty Max() = %d, want 0", h.Max())
 	}
 }

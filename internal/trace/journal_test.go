@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"strings"
 	"testing"
 
 	"repro/internal/metrics"
@@ -84,5 +85,149 @@ func TestJournalWriterEmitsJSONL(t *testing.T) {
 	}
 	if lines != 2 {
 		t.Errorf("got %d lines, want 2", lines)
+	}
+}
+
+// TestJournalV2RoundTrip writes a header, a run, and window records, then
+// parses them back: the schema round-trip the v2 ledger promises.
+func TestJournalV2RoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	jw := NewJournalWriter(&buf)
+	if err := jw.WriteHeader(); err != nil {
+		t.Fatal(err)
+	}
+	if err := jw.Write(metricsResultFixture()); err != nil {
+		t.Fatal(err)
+	}
+	if err := jw.WriteWindow(metricsResultFixture(), 0, 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := jw.WriteWindow(metricsResultFixture(), 1, 100, 200); err != nil {
+		t.Fatal(err)
+	}
+
+	j, err := ReadJournal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Env == nil {
+		t.Fatal("header env not parsed")
+	}
+	want := CurrentEnv()
+	if *j.Env != want {
+		t.Errorf("env = %+v, want %+v", *j.Env, want)
+	}
+	if len(j.Runs) != 1 || len(j.Windows) != 2 {
+		t.Fatalf("got %d runs, %d windows; want 1, 2", len(j.Runs), len(j.Windows))
+	}
+	w := j.Windows[1]
+	if w.Kind != "window" || w.Window == nil {
+		t.Fatalf("window entry malformed: %+v", w)
+	}
+	if w.Window.ID != 1 || w.Window.StartMs != 100 || w.Window.EndMs != 200 {
+		t.Errorf("window identity = %+v, want {1 100 200}", *w.Window)
+	}
+	if w.Algorithm != "SHJ_JM" || w.Matches != 1500 {
+		t.Errorf("window metrics lost: %+v", w)
+	}
+	if w.PhaseNs["probe"] != 500 {
+		t.Errorf("window PhaseNs[probe] = %d, want 500", w.PhaseNs["probe"])
+	}
+}
+
+func TestJournalAttachStampsDropsAndRuntime(t *testing.T) {
+	// A one-slot ring guarantees drops once two spans land on one worker.
+	rec := NewRecorder(1, 1)
+	rec.StartRun("NPJ")
+	rec.T(0).Record(0, 0, 10, 1)
+	rec.T(0).Record(0, 10, 10, 1)
+	if rec.Dropped() == 0 {
+		t.Fatal("fixture recorded no drops")
+	}
+	s := NewSampler(0, 4)
+	s.SampleNow()
+
+	var buf bytes.Buffer
+	jw := NewJournalWriter(&buf)
+	jw.Attach(rec, s)
+	if err := jw.WriteWindow(metricsResultFixture(), 0, 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	j, err := ReadJournal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := j.Windows[0]
+	if e.DroppedSpans != rec.Dropped() {
+		t.Errorf("dropped_spans = %d, want %d", e.DroppedSpans, rec.Dropped())
+	}
+	if e.Runtime == nil {
+		t.Fatal("runtime sample not stamped")
+	}
+	if e.Runtime.Goroutines < 1 {
+		t.Errorf("runtime.goroutines = %d, want >= 1", e.Runtime.Goroutines)
+	}
+}
+
+func TestReadJournalAcceptsV1(t *testing.T) {
+	// A v1 journal has run entries only, no header, schema iawj-journal/v1.
+	v1 := `{"schema":"iawj-journal/v1","kind":"run","algorithm":"NPJ","matches":7,"throughput_tuples_per_ms":1.5}` + "\n"
+	j, err := ReadJournal(strings.NewReader(v1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Env != nil {
+		t.Errorf("v1 journal has env = %+v, want nil", j.Env)
+	}
+	if len(j.Runs) != 1 || j.Runs[0].Algorithm != "NPJ" || j.Runs[0].Matches != 7 {
+		t.Errorf("v1 run not parsed: %+v", j.Runs)
+	}
+}
+
+func TestReadJournalRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"foreign schema":     `{"schema":"other/v1","kind":"run"}`,
+		"window no identity": `{"schema":"iawj-journal/v2","kind":"window","algorithm":"NPJ"}`,
+		"not json":           `{“smart quotes”}`,
+		"empty":              "",
+	}
+	for name, in := range cases {
+		if _, err := ReadJournal(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: ReadJournal accepted %q", name, in)
+		}
+	}
+}
+
+func TestReadJournalKeepsFirstHeaderAndSkipsUnknownKinds(t *testing.T) {
+	// Append-mode journals accumulate one header per process; readers keep
+	// the first. Unknown kinds are future growth, not errors.
+	in := `{"schema":"iawj-journal/v2","kind":"header","env":{"go_version":"go1.0","goos":"a","goarch":"b","num_cpu":1,"gomaxprocs":1}}
+{"schema":"iawj-journal/v2","kind":"header","env":{"go_version":"go2.0","goos":"c","goarch":"d","num_cpu":2,"gomaxprocs":2}}
+{"schema":"iawj-journal/v3","kind":"checkpoint","algorithm":"NPJ"}
+{"schema":"iawj-journal/v2","kind":"run","algorithm":"NPJ","matches":1}
+`
+	j, err := ReadJournal(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Env == nil || j.Env.GoVersion != "go1.0" {
+		t.Errorf("env = %+v, want the first header (go1.0)", j.Env)
+	}
+	if len(j.Runs) != 1 {
+		t.Errorf("got %d runs, want 1 (checkpoint kind skipped)", len(j.Runs))
+	}
+}
+
+func TestNilJournalWriterIsInert(t *testing.T) {
+	var jw *JournalWriter
+	jw.Attach(nil, nil)
+	if err := jw.WriteHeader(); err != nil {
+		t.Errorf("nil WriteHeader: %v", err)
+	}
+	if err := jw.Write(metricsResultFixture()); err != nil {
+		t.Errorf("nil Write: %v", err)
+	}
+	if err := jw.WriteWindow(metricsResultFixture(), 0, 0, 1); err != nil {
+		t.Errorf("nil WriteWindow: %v", err)
 	}
 }

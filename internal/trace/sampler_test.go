@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSamplerSampleNow(t *testing.T) {
+	s := NewSampler(time.Hour, 8) // interval irrelevant: we sample by hand
+	smp := s.SampleNow()
+	if smp.Goroutines < 1 {
+		t.Errorf("goroutines = %d, want >= 1", smp.Goroutines)
+	}
+	if smp.HeapLiveBytes <= 0 {
+		t.Errorf("heap live = %d, want > 0", smp.HeapLiveBytes)
+	}
+	if smp.AtNs < 0 {
+		t.Errorf("at_ns = %d, want >= 0", smp.AtNs)
+	}
+	got, ok := s.Latest()
+	if !ok || got != smp {
+		t.Errorf("Latest() = %+v/%v, want the SampleNow result", got, ok)
+	}
+	if s.Count() != 1 {
+		t.Errorf("Count() = %d, want 1", s.Count())
+	}
+}
+
+func TestSamplerStartStop(t *testing.T) {
+	s := NewSampler(time.Millisecond, 0)
+	s.Start()
+	time.Sleep(20 * time.Millisecond)
+	s.Stop()
+	if s.Count() < 1 {
+		t.Fatalf("no samples after 20ms at a 1ms interval")
+	}
+	n := s.Count()
+	// Stop is idempotent and stops recording.
+	s.Stop()
+	time.Sleep(5 * time.Millisecond)
+	if s.Count() != n {
+		t.Errorf("sampler kept recording after Stop: %d -> %d", n, s.Count())
+	}
+}
+
+func TestSamplerStopRecordsFinalSample(t *testing.T) {
+	// A run shorter than one interval still lands one sample: Stop takes it.
+	s := NewSampler(time.Hour, 0)
+	s.Start()
+	s.Stop()
+	if s.Count() != 1 {
+		t.Errorf("Count() = %d, want the one final Stop sample", s.Count())
+	}
+	if _, ok := s.Latest(); !ok {
+		t.Error("Latest() has no sample after Stop")
+	}
+}
+
+func TestSamplerRingWraps(t *testing.T) {
+	s := NewSampler(time.Hour, 4)
+	for i := 0; i < 10; i++ {
+		s.SampleNow()
+	}
+	if s.Count() != 10 {
+		t.Errorf("Count() = %d, want 10", s.Count())
+	}
+	got := s.Samples()
+	if len(got) != 4 {
+		t.Fatalf("Samples() retained %d, want ring cap 4", len(got))
+	}
+	// Retained samples are the newest four, in recording order.
+	for i := 1; i < len(got); i++ {
+		if got[i].AtNs < got[i-1].AtNs {
+			t.Errorf("samples out of order: %d < %d at %d", got[i].AtNs, got[i-1].AtNs, i)
+		}
+	}
+	last, _ := s.Latest()
+	if got[len(got)-1] != last {
+		t.Errorf("newest retained sample %+v != Latest %+v", got[len(got)-1], last)
+	}
+}
+
+// TestSamplerDisabledPathAllocs pins the trace cost model for the sampler:
+// the nil (disabled) handle performs zero allocations on every method.
+func TestSamplerDisabledPathAllocs(t *testing.T) {
+	var s *Sampler
+	checks := map[string]func(){
+		"SampleNow": func() { s.SampleNow() },
+		"Latest":    func() { s.Latest() },
+		"Samples":   func() { s.Samples() },
+		"Count":     func() { s.Count() },
+		"Start":     func() { s.Start() },
+		"Stop":      func() { s.Stop() },
+	}
+	for name, fn := range checks {
+		if allocs := testing.AllocsPerRun(100, fn); allocs != 0 {
+			t.Errorf("nil Sampler.%s allocates %.1f per call, want 0", name, allocs)
+		}
+	}
+}
+
+// TestSamplerSteadyStateAllocs verifies the enabled sampler allocates only
+// at construction: steady-state SampleNow reuses the scratch slice and the
+// runtime/metrics histogram buffers primed in NewSampler.
+func TestSamplerSteadyStateAllocs(t *testing.T) {
+	s := NewSampler(time.Hour, 8)
+	s.SampleNow() // warm any lazily grown histogram buckets
+	if allocs := testing.AllocsPerRun(100, func() { s.SampleNow() }); allocs > 0 {
+		t.Errorf("steady-state SampleNow allocates %.1f per call, want 0", allocs)
+	}
+}
+
+func TestNilSamplerZeroValues(t *testing.T) {
+	var s *Sampler
+	if smp := s.SampleNow(); smp != (RuntimeSample{}) {
+		t.Errorf("nil SampleNow = %+v, want zero", smp)
+	}
+	if _, ok := s.Latest(); ok {
+		t.Error("nil Latest ok = true, want false")
+	}
+	if s.Samples() != nil || s.Count() != 0 {
+		t.Error("nil Samples/Count not empty")
+	}
+}

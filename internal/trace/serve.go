@@ -28,6 +28,14 @@ type Registry struct {
 		sync.Mutex
 		r *Recorder
 	}
+
+	// The sampler latch is taken by the sampling goroutine's writes while
+	// rec.Mutex is taken on scrapes; separate lines, same reasoning.
+	_   [48]byte
+	smp struct {
+		sync.Mutex
+		s *Sampler
+	}
 }
 
 // algStats accumulates one algorithm's observed runs.
@@ -82,6 +90,17 @@ func (g *Registry) Attach(r *Recorder) {
 	g.rec.Lock()
 	g.rec.r = r
 	g.rec.Unlock()
+}
+
+// AttachSampler exposes a runtime sampler's latest sample as
+// iawj_runtime_* series on /metrics; pass nil to detach.
+func (g *Registry) AttachSampler(s *Sampler) {
+	if g == nil {
+		return
+	}
+	g.smp.Lock()
+	g.smp.s = s
+	g.smp.Unlock()
 }
 
 // escapeLabel escapes a Prometheus label value.
@@ -159,6 +178,8 @@ func (g *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
 		writeHeader("iawj_trace_dropped_spans_total", "counter", "Spans dropped to full rings in the attached recorder.")
 		fmt.Fprintf(&b, "iawj_trace_dropped_spans_total %d\n", rec.Dropped())
 
+		snapshot := rec.Snapshot()
+
 		// Live per-algorithm/per-phase busy time from the published spans:
 		// the in-flight view of the Figure 7 breakdown.
 		type key struct {
@@ -166,7 +187,7 @@ func (g *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
 			phase int32
 		}
 		byKey := map[key]int64{}
-		for _, s := range rec.Snapshot() {
+		for _, s := range snapshot {
 			byKey[key{s.Alg, s.Phase}] += s.DurNs
 		}
 		keys := make([]key, 0, len(byKey))
@@ -183,6 +204,38 @@ func (g *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
 		for _, k := range keys {
 			fmt.Fprintf(&b, "iawj_trace_span_ns_total{algorithm=%q,phase=%q} %d\n",
 				escapeLabel(rec.AlgName(k.alg)), escapeLabel(metrics.Phase(k.phase).String()), byKey[k])
+		}
+
+		// The span analytics engine over the same snapshot: imbalance
+		// ratios and barrier stalls per (algorithm, phase) cell.
+		analysis := Analyze(snapshot, rec.AlgName, 0)
+		writeHeader("iawj_phase_imbalance", "gauge", "Max/mean per-worker busy time per algorithm and phase (1.0 = balanced).")
+		for _, st := range analysis.Phases {
+			fmt.Fprintf(&b, "iawj_phase_imbalance{algorithm=%q,phase=%q} %g\n",
+				escapeLabel(st.Algorithm), escapeLabel(st.Phase.String()), st.Imbalance)
+		}
+		writeHeader("iawj_barrier_stall_ns_total", "counter", "Nanoseconds workers spent finished while the slowest worker of the phase was still running.")
+		for _, st := range analysis.Phases {
+			fmt.Fprintf(&b, "iawj_barrier_stall_ns_total{algorithm=%q,phase=%q} %d\n",
+				escapeLabel(st.Algorithm), escapeLabel(st.Phase.String()), st.BarrierStallNs)
+		}
+	}
+
+	g.smp.Lock()
+	smp := g.smp.s
+	g.smp.Unlock()
+	if smp != nil {
+		if s, ok := smp.Latest(); ok {
+			writeHeader("iawj_runtime_heap_live_bytes", "gauge", "Live-object heap bytes from the attached runtime sampler.")
+			fmt.Fprintf(&b, "iawj_runtime_heap_live_bytes %d\n", s.HeapLiveBytes)
+			writeHeader("iawj_runtime_goroutines", "gauge", "Live goroutines from the attached runtime sampler.")
+			fmt.Fprintf(&b, "iawj_runtime_goroutines %d\n", s.Goroutines)
+			writeHeader("iawj_runtime_gc_cycles_total", "counter", "Completed GC cycles since process start.")
+			fmt.Fprintf(&b, "iawj_runtime_gc_cycles_total %d\n", s.GCCycles)
+			writeHeader("iawj_runtime_gc_pause_ns_total", "counter", "Approximate total stop-the-world GC pause nanoseconds since process start.")
+			fmt.Fprintf(&b, "iawj_runtime_gc_pause_ns_total %d\n", s.GCPauseNsTotal)
+			writeHeader("iawj_runtime_sched_latency_p99_ns", "gauge", "p99 goroutine scheduling latency since process start.")
+			fmt.Fprintf(&b, "iawj_runtime_sched_latency_p99_ns %d\n", s.SchedLatP99Ns)
 		}
 	}
 

@@ -30,6 +30,13 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Environment metadata stamped into every JSON (and checked by -compare):
+# ns/op from one machine is meaningless against another, so downstream
+# consumers need enough identity to flag cross-machine comparisons.
+GO_VERSION="$(go env GOVERSION)"
+NUM_CPU="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)"
+GOMAXPROCS_VAL="${GOMAXPROCS:-$NUM_CPU}"
+
 if [ "${1:-}" = "-compare" ]; then
     BASE="${2:-}"
     if [ -z "$BASE" ]; then
@@ -39,6 +46,13 @@ if [ "${1:-}" = "-compare" ]; then
     if [ ! -f "$BASE" ]; then
         echo "bench.sh: recorded baseline $BASE not found" >&2
         exit 2
+    fi
+    # Flag a recorded baseline from another environment: its deltas are
+    # reported as usual but a slower machine is not a slower kernel.
+    base_go="$(sed -n 's/.*"go_version": "\([^"]*\)".*/\1/p' "$BASE" | head -1)"
+    base_cpus="$(sed -n 's/.*"num_cpu": \([0-9]*\).*/\1/p' "$BASE" | head -1)"
+    if [ -n "$base_go" ] && { [ "$base_go" != "$GO_VERSION" ] || [ "${base_cpus:-0}" != "$NUM_CPU" ]; }; then
+        echo "bench.sh: warning: cross-machine comparison — baseline recorded on $base_go/${base_cpus:-?} cpus, running on $GO_VERSION/$NUM_CPU cpus; deltas below are flagged, not trusted" >&2
     fi
     CUR="$(mktemp /tmp/iawj-bench-compare.XXXXXX.json)"
     trap 'rm -f "$CUR"' EXIT
@@ -93,7 +107,8 @@ if [ "$MODE" = "kernels" ]; then
     raw="$(go test -run '^$' -bench '^BenchmarkKernel' -benchtime="$BENCHTIME" \
         ./internal/radix ./internal/hashtable)"
 
-    echo "$raw" | awk -v benchtime="$BENCHTIME" '
+    echo "$raw" | awk -v benchtime="$BENCHTIME" \
+        -v go_version="$GO_VERSION" -v num_cpu="$NUM_CPU" -v gomaxprocs="$GOMAXPROCS_VAL" '
     BEGIN { n = 0 }
     /^goos:/    { goos = $2 }
     /^goarch:/  { goarch = $2 }
@@ -125,6 +140,9 @@ if [ "$MODE" = "kernels" ]; then
         printf "  \"goos\": \"%s\",\n", goos
         printf "  \"goarch\": \"%s\",\n", goarch
         printf "  \"cpu\": \"%s\",\n", cpu
+        printf "  \"go_version\": \"%s\",\n", go_version
+        printf "  \"num_cpu\": %d,\n", num_cpu
+        printf "  \"gomaxprocs\": %d,\n", gomaxprocs
         printf "  \"results\": [\n"
         for (i = 0; i < n; i++) {
             printf "    {\"kernel\": \"%s\", \"variant\": \"%s\", \"ns_per_op\": %s, \"mb_per_s\": %s}%s\n", \
@@ -155,7 +173,8 @@ BENCHTIME="${BENCHTIME:-1x}"
 
 raw="$(go test -run '^$' -bench '^BenchmarkJoin$' -benchtime="$BENCHTIME" .)"
 
-echo "$raw" | awk -v benchtime="$BENCHTIME" '
+echo "$raw" | awk -v benchtime="$BENCHTIME" \
+    -v go_version="$GO_VERSION" -v num_cpu="$NUM_CPU" -v gomaxprocs="$GOMAXPROCS_VAL" '
 BEGIN { n = 0 }
 /^goos:/    { goos = $2 }
 /^goarch:/  { goarch = $2 }
@@ -183,6 +202,9 @@ END {
     printf "  \"goos\": \"%s\",\n", goos
     printf "  \"goarch\": \"%s\",\n", goarch
     printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"go_version\": \"%s\",\n", go_version
+    printf "  \"num_cpu\": %d,\n", num_cpu
+    printf "  \"gomaxprocs\": %d,\n", gomaxprocs
     printf "  \"results\": [\n"
     for (i = 0; i < n; i++) {
         printf "    {\"algorithm\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"mb_per_s\": %s, \"matches\": %s}%s\n", \

@@ -25,6 +25,10 @@
 #                   the differential matrix (all 8 algorithms x threads x
 #                   workloads x schedule perturbations vs the reference
 #                   oracle) plus the metamorphic checks; see TESTING.md
+#  12. report smoke a two-algorithm windowed sweep appends iawj-journal/v2
+#                   window records to one journal; iawjreport -self on it
+#                   must parse the ledger and exit 0 (a journal is never a
+#                   regression against itself)
 #
 # Any stage failing aborts the gate with a non-zero exit.
 set -euo pipefail
@@ -89,5 +93,19 @@ go test -race -run '^$' -bench '^BenchmarkKernel' -benchtime=1x \
 
 step "conformance smoke (iawjconform -smoke under -race)"
 go run -race ./cmd/iawjconform -smoke
+
+step "report smoke (windowed journal -> iawjreport -self)"
+ledger="$tracedir/ledger.jsonl"
+for alg in NPJ SHJ_JM; do
+    go run ./cmd/iawjjoin -workload Stock -scale 0.002 -atrest \
+        -algorithm "$alg" -windowms 50 -journal "$ledger" >/dev/null
+done
+window_lines="$(grep -c '"kind":"window"' "$ledger")"
+if [ "$window_lines" -lt 2 ]; then
+    echo "report smoke: expected window records from both algorithms, got $window_lines" >&2
+    exit 1
+fi
+go run ./cmd/iawjreport -self "$ledger" >/dev/null
+echo "ok (ledger: $window_lines window records, self-compare clean)"
 
 printf '\ncheck: all stages passed\n'

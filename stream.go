@@ -43,6 +43,10 @@ type WindowResult struct {
 // exists for, so when cfg.Pool is nil the driver creates one shared by
 // all windows of this call; pass your own pool to share state across
 // calls too.
+//
+// When cfg.Journal is non-nil, every window that runs a join appends one
+// iawj-journal/v2 window record (windows with input on only one side are
+// skipped — they have no run to summarize).
 func JoinWindowed(r, s Relation, spec WindowSpec, cfg Config) ([]WindowResult, error) {
 	pairs, err := window.AssignPair(r, s, spec)
 	if err != nil {
@@ -59,11 +63,15 @@ func JoinWindowed(r, s Relation, spec WindowSpec, cfg Config) ([]WindowResult, e
 		}
 		wcfg := cfg
 		wcfg.WindowMs = p.Window.Length()
+		wcfg.Window = WindowTag{ID: i, StartMs: p.Window.Start, EndMs: p.Window.End}
 		res, err := Join(rebase(p.R, p.Window.Start), rebase(p.S, p.Window.Start), wcfg)
 		if err != nil {
 			return out[:i], fmt.Errorf("window [%d,%d): %w", p.Window.Start, p.Window.End, err)
 		}
 		out[i].Result = res
+		if err := cfg.Journal.WriteWindow(res, i, p.Window.Start, p.Window.End); err != nil {
+			return out[:i+1], fmt.Errorf("window [%d,%d): journal: %w", p.Window.Start, p.Window.End, err)
+		}
 	}
 	return out, nil
 }
@@ -101,12 +109,18 @@ func JoinWindowedParallel(r, s Relation, spec WindowSpec, cfg Config, workers in
 			defer func() { <-sem; wg.Done() }()
 			wcfg := cfg
 			wcfg.WindowMs = p.Window.Length()
+			wcfg.Window = WindowTag{ID: i, StartMs: p.Window.Start, EndMs: p.Window.End}
 			res, err := Join(rebase(p.R, p.Window.Start), rebase(p.S, p.Window.Start), wcfg)
 			if err != nil {
 				errs[i] = fmt.Errorf("window [%d,%d): %w", p.Window.Start, p.Window.End, err)
 				return
 			}
 			out[i].Result = res
+			// The journal writer serializes internally; window records of
+			// in-flight windows may interleave out of order but carry ids.
+			if err := cfg.Journal.WriteWindow(res, i, p.Window.Start, p.Window.End); err != nil {
+				errs[i] = fmt.Errorf("window [%d,%d): journal: %w", p.Window.Start, p.Window.End, err)
+			}
 		}(i, p)
 	}
 	wg.Wait()

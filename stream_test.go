@@ -1,6 +1,11 @@
 package iawj
 
-import "testing"
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/trace"
+)
 
 // tumbledGroundTruth computes per-window match counts by brute force.
 func tumbledGroundTruth(r, s Relation, w int64) map[int64]int64 {
@@ -157,5 +162,116 @@ func TestJoinWindowedParallelPropagatesErrors(t *testing.T) {
 	_, err := JoinWindowedParallel(r, s, WindowSpec{Kind: Tumbling, LengthMs: 50}, Config{Algorithm: "NOPE"}, 2)
 	if err == nil {
 		t.Fatal("bad algorithm must surface an error")
+	}
+}
+
+// TestJoinWindowedJournalRoundTrip drives a windowed join with a journal
+// attached and parses the emitted ledger back: one valid v2 window record
+// per joined window, carrying the window identity and the join metrics.
+func TestJoinWindowedJournalRoundTrip(t *testing.T) {
+	w := Micro(MicroConfig{RateR: 40, RateS: 40, WindowMs: 400, Dupe: 4, Seed: 41})
+	const winLen = 100
+
+	var buf bytes.Buffer
+	jw := NewJournalWriter(&buf)
+	if err := jw.WriteHeader(); err != nil {
+		t.Fatal(err)
+	}
+	results, err := JoinWindowed(w.R, w.S, WindowSpec{Kind: Tumbling, LengthMs: winLen}, Config{
+		Algorithm: "SHJ_JM", Threads: 2, AtRest: true, Journal: jw,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	joined := 0
+	for _, wr := range results {
+		if wr.Result.Algorithm != "" {
+			joined++
+		}
+	}
+	if joined == 0 {
+		t.Fatal("fixture produced no joined windows")
+	}
+
+	j, err := trace.ReadJournal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Env == nil {
+		t.Error("journal has no environment header")
+	}
+	if len(j.Windows) != joined {
+		t.Fatalf("journal has %d window records, want %d (one per joined window)", len(j.Windows), joined)
+	}
+	byID := map[int]trace.JournalEntry{}
+	for _, e := range j.Windows {
+		byID[e.Window.ID] = e
+	}
+	for i, wr := range results {
+		if wr.Result.Algorithm == "" {
+			if _, ok := byID[i]; ok {
+				t.Errorf("empty window %d has a journal record", i)
+			}
+			continue
+		}
+		e, ok := byID[i]
+		if !ok {
+			t.Fatalf("window %d missing from journal", i)
+		}
+		if e.Window.StartMs != wr.Start || e.Window.EndMs != wr.End {
+			t.Errorf("window %d bounds = [%d,%d), want [%d,%d)", i, e.Window.StartMs, e.Window.EndMs, wr.Start, wr.End)
+		}
+		if e.Algorithm != wr.Result.Algorithm || e.Matches != wr.Result.Matches {
+			t.Errorf("window %d: journal %s/%d, result %s/%d", i, e.Algorithm, e.Matches, wr.Result.Algorithm, wr.Result.Matches)
+		}
+	}
+	// The result side carries the same identity via core.ExecContext.
+	for i, wr := range results {
+		if wr.Result.Algorithm == "" {
+			continue
+		}
+		if wr.Result.WindowID != i || wr.Result.WindowStartMs != wr.Start || wr.Result.WindowEndMs != wr.End {
+			t.Errorf("result %d window tag = %d [%d,%d), want %d [%d,%d)", i,
+				wr.Result.WindowID, wr.Result.WindowStartMs, wr.Result.WindowEndMs, i, wr.Start, wr.End)
+		}
+	}
+}
+
+// TestJoinWindowedParallelJournal checks the concurrent driver writes the
+// same set of window records (order may interleave, ids must not).
+func TestJoinWindowedParallelJournal(t *testing.T) {
+	w := Micro(MicroConfig{RateR: 40, RateS: 40, WindowMs: 400, Dupe: 4, Seed: 41})
+	var buf bytes.Buffer
+	jw := NewJournalWriter(&buf)
+	results, err := JoinWindowedParallel(w.R, w.S, WindowSpec{Kind: Tumbling, LengthMs: 100}, Config{
+		Algorithm: "NPJ", Threads: 2, AtRest: true, Journal: jw,
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := trace.ReadJournal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, e := range j.Windows {
+		if seen[e.Window.ID] {
+			t.Errorf("window %d recorded twice", e.Window.ID)
+		}
+		seen[e.Window.ID] = true
+	}
+	joined := 0
+	for i, wr := range results {
+		if wr.Result.Algorithm == "" {
+			continue
+		}
+		joined++
+		if !seen[i] {
+			t.Errorf("window %d missing from journal", i)
+		}
+	}
+	if len(j.Windows) != joined {
+		t.Errorf("journal has %d window records, want %d", len(j.Windows), joined)
 	}
 }
