@@ -55,9 +55,10 @@ trace-smoke:
 bench:
 	./scripts/bench.sh
 
-## bench-kernels: kernel-layer sweep (partition/build/probe), writes BENCH_3.json
+## bench-kernels: kernel-layer sweep (partition/partition_build/build/probe),
+## writes BENCH_3.json; 300 iterations per variant for recordable numbers
 bench-kernels:
-	./scripts/bench.sh kernels
+	BENCHTIME=$${BENCHTIME:-300x} ./scripts/bench.sh kernels
 
 ## bench-smoke: every kernel microbenchmark once, under the race detector
 bench-smoke:

@@ -167,6 +167,7 @@ func (c *cursor) batch(buf []tuple.Tuple, max int, nowMs int64, atRest bool, own
 			c.tracer.Access(c.base + uint64(c.idx)*16)
 			c.tracer.Op(2)
 		}
+		//lint:allow hotpathalloc the ownership predicate is the partitioning-strategy hook, per-tuple by design
 		if owns(c.idx, t) {
 			if physical {
 				// Pass by value: the copy below is the physical

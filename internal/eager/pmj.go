@@ -203,6 +203,7 @@ func (a PMJ) Run(ctx *core.ExecContext) error {
 			rWaiting, sWaiting = false, false
 			pt.timeCount(metrics.PhasePartition, pull)
 			if len(curR)+len(curS) >= step {
+				//lint:allow hotpathalloc seal runs once per sealed run, not per tuple
 				seal()
 			}
 			if nR == 0 && nS == 0 && (rWaiting || sWaiting) {

@@ -13,10 +13,26 @@ package hashtable
 // (radix.Partitioner), so a tuple that was already hashed for partition
 // selection is never hashed again for bucket placement.
 //
+// Two further levers make the batched probes dominate the scalar loop
+// (PERFORMANCE.md §7):
+//
+//   - Software prefetch: probes run as a two-stage pipeline per block of
+//     D tuples — stage one hashes and issues early loads of every bucket
+//     head in the block, stage two resolves matches against lines that
+//     are already in flight. See prefetch.go for the distance model and
+//     its calibration.
+//   - Monomorphic resolve loops: the chain-walk branch is hoisted out of
+//     the inner loop. A table whose build produced no overflow buckets
+//     (Chained() == 0 — the unique-key regime) resolves with a flat walk
+//     of the head bucket, no pointer chase; duplicate-heavy tables take
+//     the chain walk. Tracer instrumentation lives only in the unpipelined
+//     fallback, so profile runs see the classic access sequence.
+//
 // ProbeBatch appends matches as consecutive (stored, probe) tuple pairs:
 // dst[2i] is the stored build-side tuple, dst[2i+1] the probing tuple.
 // Matches keep the scalar order — probe order first, chain order second —
-// so batched and scalar kernels are differentially testable pair by pair.
+// so batched and scalar kernels are differentially testable pair by pair,
+// at every prefetch distance.
 
 import "repro/internal/tuple"
 
@@ -25,10 +41,20 @@ import "repro/internal/tuple"
 //
 //iawj:hotpath
 func (t *Table) InsertBatch(xs []tuple.Tuple) {
-	for i := range xs {
-		t.insertHashed(xs[i], Hash(xs[i].Key))
+	if t.tracer != nil {
+		for i := range xs {
+			t.insertHashed(xs[i], Hash(xs[i].Key))
+		}
+		t.size += int64(len(xs))
+		return
 	}
-	t.size += int64(len(xs))
+	if t.pref > 1 {
+		t.insertPipelined(xs, nil)
+		return
+	}
+	for i := range xs {
+		t.InsertHashed(xs[i], Hash(xs[i].Key))
+	}
 }
 
 // InsertBatchHashed inserts xs using precomputed hashes (aligned with xs),
@@ -36,17 +62,177 @@ func (t *Table) InsertBatch(xs []tuple.Tuple) {
 //
 //iawj:hotpath
 func (t *Table) InsertBatchHashed(xs []tuple.Tuple, hashes []uint32) {
-	for i := range xs {
-		t.insertHashed(xs[i], hashes[i])
+	if t.tracer != nil {
+		for i := range xs {
+			t.insertHashed(xs[i], hashes[i])
+		}
+		t.size += int64(len(xs))
+		return
 	}
-	t.size += int64(len(xs))
+	if t.pref > 1 {
+		t.insertPipelined(xs, hashes)
+		return
+	}
+	for i := range xs {
+		t.InsertHashed(xs[i], hashes[i])
+	}
 }
 
-// insertHashed is Insert with the hash supplied; size accounting is left
-// to the batch wrappers.
+// insertPipelined is the two-stage batched build: stage one hashes a block
+// of up to t.pref tuples and issues an early load of every target bucket's
+// header line, stage two performs the inserts in input order against lines
+// already in flight. Builds are write-heavy, but the ownership miss on a
+// cold bucket line costs the same latency as a read miss, so the same
+// distance-D pipeline that hides probe misses hides them too. Insert order
+// — and therefore chain layout — is identical to the scalar loop. hashes
+// may be nil.
+//
+//iawj:hotpath
+func (t *Table) insertPipelined(xs []tuple.Tuple, hashes []uint32) {
+	d := int(t.pref)
+	var heads [prefBlockMax]*bucket
+	var tick int32
+	for lo := 0; lo < len(xs); lo += d {
+		n := len(xs) - lo
+		if n > d {
+			n = d
+		}
+		blk := xs[lo : lo+n]
+		// Stage 1: hash + early header loads. The tick accumulator keeps
+		// the b.n loads observable (they re-read in stage two, since an
+		// earlier insert in the block may hit the same bucket).
+		if hashes == nil {
+			for j := 0; j < n; j++ {
+				b := &t.buckets[(Hash(blk[j].Key)>>t.shift)&t.mask]
+				heads[j] = b
+				tick |= b.n
+			}
+		} else {
+			hblk := hashes[lo : lo+n]
+			for j := 0; j < n; j++ {
+				b := &t.buckets[(hblk[j]>>t.shift)&t.mask]
+				heads[j] = b
+				tick |= b.n
+			}
+		}
+		// Stage 2: insert, in input order. Spill empties the head bucket
+		// in place, so the staged head pointers stay valid.
+		for j := 0; j < n; j++ {
+			b := heads[j]
+			if b.n == 0 && b.next == nil {
+				t.dirty = append(t.dirty, b)
+			}
+			if b.n == bucketCap {
+				b = t.spill(b)
+			}
+			b.tuples[b.n] = blk[j]
+			b.n++
+		}
+	}
+	t.size += int64(len(xs))
+	t.tick = tick
+}
+
+// ScatterBuild performs the fused partition+build scatter for
+// radix.Partitioner.PartitionBuild: tuple xs[i] with hash hashes[i] is
+// inserted into tabs[hashes[i]&mask] — the caller guarantees that table
+// exists (it sized one per non-empty partition) and carries
+// SetShift(bits). The loop lives here rather than in package radix so the
+// bucket walk is direct field access instead of a non-inlinable
+// per-tuple InsertHashed call (cost 119 vs the 80 inline budget — the
+// call overhead alone erased the fusion win on cache-resident windows).
+//
+// Like insertPipelined, the scatter runs the two-stage distance-D
+// pipeline: stage one resolves a block of table and bucket heads and
+// issues early header loads — across tables, exactly the random directory
+// traffic fusion is exposed to — and stage two inserts in input order, so
+// per-table insertion order (and chain layout) matches the unfused
+// PartitionHashed + InsertBatchHashed pipeline tuple for tuple.
+//
+//iawj:hotpath
+func ScatterBuild(tabs []*Table, mask uint32, xs []tuple.Tuple, hashes []uint32) {
+	d := clampPref(int(probePrefetch.Load()))
+	var tstage [prefBlockMax]*Table
+	var heads [prefBlockMax]*bucket
+	var tick int32
+	var sink *Table
+	for lo := 0; lo < len(xs); lo += d {
+		n := len(xs) - lo
+		if n > d {
+			n = d
+		}
+		hblk := hashes[lo : lo+n]
+		for j := 0; j < n; j++ {
+			h := hblk[j]
+			t := tabs[h&mask]
+			b := &t.buckets[(h>>t.shift)&t.mask]
+			tstage[j] = t
+			heads[j] = b
+			tick |= b.n
+		}
+		blk := xs[lo : lo+n]
+		for j := 0; j < n; j++ {
+			t := tstage[j]
+			b := heads[j]
+			if b.n == 0 && b.next == nil {
+				t.dirty = append(t.dirty, b)
+			}
+			if b.n == bucketCap {
+				b = t.spill(b)
+			}
+			b.tuples[b.n] = blk[j]
+			b.n++
+			t.size++
+		}
+		sink = tstage[0]
+	}
+	if sink != nil {
+		sink.tick = tick // keep the stage-one header loads observable
+	}
+}
+
+// InsertHashed is the monomorphic single-tuple insert of the untraced hot
+// loops: no tracer branch, and the rare overflow spill is outlined to
+// keep the common path short; per-tuple scatter loops that need it
+// inlined live in this package instead (ScatterBuild).
+//
+//iawj:hotpath
+func (t *Table) InsertHashed(x tuple.Tuple, h uint32) {
+	idx := (h >> t.shift) & t.mask
+	b := &t.buckets[idx]
+	if b.n == 0 && b.next == nil {
+		t.dirty = append(t.dirty, b)
+	}
+	if b.n == bucketCap {
+		b = t.spill(b)
+	}
+	b.tuples[b.n] = x
+	b.n++
+	t.size++
+}
+
+// spill moves a full head bucket's contents to an overflow bucket pushed
+// onto the chain and returns the emptied head — Insert's head-insertion
+// scheme, outlined to keep InsertHashed inlinable.
+//
+//go:noinline
+func (t *Table) spill(b *bucket) *bucket {
+	nb := t.newBucket()
+	*nb = *b
+	b.next = nb
+	b.n = 0
+	t.chained++
+	return b
+}
+
+// insertHashed is Insert with the hash supplied and tracer instrumentation
+// kept; size accounting is left to the traced batch wrappers.
 func (t *Table) insertHashed(x tuple.Tuple, h uint32) {
 	idx := (h >> t.shift) & t.mask
 	b := &t.buckets[idx]
+	if b.n == 0 && b.next == nil {
+		t.dirty = append(t.dirty, b)
+	}
 	if t.tracer != nil {
 		t.tracer.Access(t.base + uint64(idx)*bucketBytes)
 		t.tracer.Op(4)
@@ -56,6 +242,7 @@ func (t *Table) insertHashed(x tuple.Tuple, h uint32) {
 		*nb = *b
 		b.next = nb
 		b.n = 0
+		t.chained++
 		if t.tracer != nil {
 			t.tracer.Access(t.base + uint64(idx)*bucketBytes + uint64(t.extra)*(1<<20))
 			t.tracer.Op(4)
@@ -71,9 +258,13 @@ func (t *Table) insertHashed(x tuple.Tuple, h uint32) {
 //iawj:hotpath
 func (t *Table) ProbeBatch(probes []tuple.Tuple, dst []tuple.Tuple) ([]tuple.Tuple, int) {
 	n0 := len(dst)
-	for i := range probes {
-		dst = t.probeHashed(probes[i], Hash(probes[i].Key), dst)
+	if t.tracer != nil || t.pref <= 1 {
+		for i := range probes {
+			dst = t.probeHashed(probes[i], Hash(probes[i].Key), dst)
+		}
+		return dst, (len(dst) - n0) / 2
 	}
+	dst = t.probePipelined(probes, nil, dst)
 	return dst, (len(dst) - n0) / 2
 }
 
@@ -83,10 +274,85 @@ func (t *Table) ProbeBatch(probes []tuple.Tuple, dst []tuple.Tuple) ([]tuple.Tup
 //iawj:hotpath
 func (t *Table) ProbeBatchHashed(probes []tuple.Tuple, hashes []uint32, dst []tuple.Tuple) ([]tuple.Tuple, int) {
 	n0 := len(dst)
-	for i := range probes {
-		dst = t.probeHashed(probes[i], hashes[i], dst)
+	if t.tracer != nil || t.pref <= 1 {
+		for i := range probes {
+			dst = t.probeHashed(probes[i], hashes[i], dst)
+		}
+		return dst, (len(dst) - n0) / 2
 	}
+	dst = t.probePipelined(probes, hashes, dst)
 	return dst, (len(dst) - n0) / 2
+}
+
+// probePipelined is the two-stage materializing probe. Stage one hashes a
+// block of up to t.pref probes and loads every bucket head's count and
+// overflow pointer — independent loads the core overlaps, hiding the
+// directory's random-access latency behind the block. Stage two resolves
+// in probe order from the staged heads, through the monomorphic flat or
+// chain walk. hashes may be nil (keys are hashed in stage one).
+//
+//iawj:hotpath
+func (t *Table) probePipelined(probes []tuple.Tuple, hashes []uint32, dst []tuple.Tuple) []tuple.Tuple {
+	d := int(t.pref)
+	var heads [prefBlockMax]*bucket
+	var counts [prefBlockMax]int32
+	var nexts [prefBlockMax]*bucket
+	flat := t.chained == 0
+	for lo := 0; lo < len(probes); lo += d {
+		n := len(probes) - lo
+		if n > d {
+			n = d
+		}
+		blk := probes[lo : lo+n]
+		// Stage 1: hash + early bucket-head loads (the prefetch).
+		if hashes == nil {
+			for j := 0; j < n; j++ {
+				b := &t.buckets[(Hash(blk[j].Key)>>t.shift)&t.mask]
+				heads[j] = b
+				counts[j] = b.n
+				nexts[j] = b.next
+			}
+		} else {
+			hblk := hashes[lo : lo+n]
+			for j := 0; j < n; j++ {
+				b := &t.buckets[(hblk[j]>>t.shift)&t.mask]
+				heads[j] = b
+				counts[j] = b.n
+				nexts[j] = b.next
+			}
+		}
+		// Stage 2: resolve, in probe order.
+		if flat {
+			for j := 0; j < n; j++ {
+				key := blk[j].Key
+				b := heads[j]
+				for i := int32(0); i < counts[j]; i++ {
+					if b.tuples[i].Key == key {
+						dst = append(dst, b.tuples[i], blk[j])
+					}
+				}
+			}
+		} else {
+			for j := 0; j < n; j++ {
+				key := blk[j].Key
+				b, bn, nxt := heads[j], counts[j], nexts[j]
+				for {
+					for i := int32(0); i < bn; i++ {
+						if b.tuples[i].Key == key {
+							dst = append(dst, b.tuples[i], blk[j])
+						}
+					}
+					if nxt == nil {
+						break
+					}
+					b = nxt
+					bn = b.n
+					nxt = b.next
+				}
+			}
+		}
+	}
+	return dst
 }
 
 // ProbeBatchCount probes every tuple of probes and returns the match count
@@ -94,15 +360,107 @@ func (t *Table) ProbeBatchHashed(probes []tuple.Tuple, hashes []uint32, dst []tu
 //
 //iawj:hotpath
 func (t *Table) ProbeBatchCount(probes []tuple.Tuple) int {
+	if t.tracer != nil || t.pref <= 1 {
+		matches := 0
+		for i := range probes {
+			key := probes[i].Key
+			idx := (Hash(key) >> t.shift) & t.mask
+			t.traceChainWalk(idx)
+			for b := &t.buckets[idx]; b != nil; b = b.next {
+				for j := int32(0); j < b.n; j++ {
+					if b.tuples[j].Key == key {
+						matches++
+					}
+				}
+			}
+		}
+		return matches
+	}
+	return t.probeCountPipelined(probes, nil)
+}
+
+// ProbeBatchCountHashed is ProbeBatchCount with precomputed hashes aligned
+// with probes, the count-only leg of the hash-once pipeline.
+//
+//iawj:hotpath
+func (t *Table) ProbeBatchCountHashed(probes []tuple.Tuple, hashes []uint32) int {
+	if t.tracer != nil || t.pref <= 1 {
+		matches := 0
+		for i := range probes {
+			key := probes[i].Key
+			idx := (hashes[i] >> t.shift) & t.mask
+			t.traceChainWalk(idx)
+			for b := &t.buckets[idx]; b != nil; b = b.next {
+				for j := int32(0); j < b.n; j++ {
+					if b.tuples[j].Key == key {
+						matches++
+					}
+				}
+			}
+		}
+		return matches
+	}
+	return t.probeCountPipelined(probes, hashes)
+}
+
+// probeCountPipelined is probePipelined's count-only twin.
+//
+//iawj:hotpath
+func (t *Table) probeCountPipelined(probes []tuple.Tuple, hashes []uint32) int {
+	d := int(t.pref)
+	var heads [prefBlockMax]*bucket
+	var counts [prefBlockMax]int32
+	var nexts [prefBlockMax]*bucket
+	flat := t.chained == 0
 	matches := 0
-	for i := range probes {
-		key := probes[i].Key
-		idx := (Hash(key) >> t.shift) & t.mask
-		t.traceChainWalk(idx)
-		for b := &t.buckets[idx]; b != nil; b = b.next {
-			for j := int32(0); j < b.n; j++ {
-				if b.tuples[j].Key == key {
-					matches++
+	for lo := 0; lo < len(probes); lo += d {
+		n := len(probes) - lo
+		if n > d {
+			n = d
+		}
+		blk := probes[lo : lo+n]
+		if hashes == nil {
+			for j := 0; j < n; j++ {
+				b := &t.buckets[(Hash(blk[j].Key)>>t.shift)&t.mask]
+				heads[j] = b
+				counts[j] = b.n
+				nexts[j] = b.next
+			}
+		} else {
+			hblk := hashes[lo : lo+n]
+			for j := 0; j < n; j++ {
+				b := &t.buckets[(hblk[j]>>t.shift)&t.mask]
+				heads[j] = b
+				counts[j] = b.n
+				nexts[j] = b.next
+			}
+		}
+		if flat {
+			for j := 0; j < n; j++ {
+				key := blk[j].Key
+				b := heads[j]
+				for i := int32(0); i < counts[j]; i++ {
+					if b.tuples[i].Key == key {
+						matches++
+					}
+				}
+			}
+		} else {
+			for j := 0; j < n; j++ {
+				key := blk[j].Key
+				b, bn, nxt := heads[j], counts[j], nexts[j]
+				for {
+					for i := int32(0); i < bn; i++ {
+						if b.tuples[i].Key == key {
+							matches++
+						}
+					}
+					if nxt == nil {
+						break
+					}
+					b = nxt
+					bn = b.n
+					nxt = b.next
 				}
 			}
 		}
@@ -111,7 +469,7 @@ func (t *Table) ProbeBatchCount(probes []tuple.Tuple) int {
 }
 
 // probeHashed walks the chain for one probe tuple, appending (stored,
-// probe) pairs to dst.
+// probe) pairs to dst — the unpipelined, tracer-aware walk.
 func (t *Table) probeHashed(probe tuple.Tuple, h uint32, dst []tuple.Tuple) []tuple.Tuple {
 	key := probe.Key
 	idx := (h >> t.shift) & t.mask
@@ -160,25 +518,78 @@ func (t *Shared) InsertBatch(xs []tuple.Tuple) {
 // ProbeBatch probes every tuple of probes latch-free (build and probe are
 // separated by a barrier in NPJ) and appends each match to dst as a
 // (stored, probe) pair. It returns the grown buffer and the match count.
+// Untraced probes run the same two-stage prefetch pipeline as
+// Table.ProbeBatch.
 //
 //iawj:hotpath
 func (t *Shared) ProbeBatch(probes []tuple.Tuple, dst []tuple.Tuple) ([]tuple.Tuple, int) {
 	n0 := len(dst)
-	for pi := range probes {
-		key := probes[pi].Key
-		idx := Hash(key) & t.mask
-		hop := uint64(0)
-		for b := &t.buckets[idx].bucket; b != nil; b = b.next {
-			if t.tracer != nil {
-				t.tracer.Access(t.base + uint64(idx)*bucketBytes + hop*(1<<20))
-				t.tracer.Op(uint64(b.n) + 1)
+	if t.tracer != nil || t.pref <= 1 {
+		for pi := range probes {
+			key := probes[pi].Key
+			idx := Hash(key) & t.mask
+			hop := uint64(0)
+			for b := &t.buckets[idx].bucket; b != nil; b = b.next {
+				if t.tracer != nil {
+					t.tracer.Access(t.base + uint64(idx)*bucketBytes + hop*(1<<20))
+					t.tracer.Op(uint64(b.n) + 1)
+				}
+				for i := int32(0); i < b.n; i++ {
+					if b.tuples[i].Key == key {
+						dst = append(dst, b.tuples[i], probes[pi])
+					}
+				}
+				hop++
 			}
-			for i := int32(0); i < b.n; i++ {
-				if b.tuples[i].Key == key {
-					dst = append(dst, b.tuples[i], probes[pi])
+		}
+		return dst, (len(dst) - n0) / 2
+	}
+
+	d := int(t.pref)
+	var heads [prefBlockMax]*bucket
+	var counts [prefBlockMax]int32
+	var nexts [prefBlockMax]*bucket
+	flat := t.chained.Load() == 0
+	for lo := 0; lo < len(probes); lo += d {
+		n := len(probes) - lo
+		if n > d {
+			n = d
+		}
+		blk := probes[lo : lo+n]
+		for j := 0; j < n; j++ {
+			b := &t.buckets[Hash(blk[j].Key)&t.mask].bucket
+			heads[j] = b
+			counts[j] = b.n
+			nexts[j] = b.next
+		}
+		if flat {
+			for j := 0; j < n; j++ {
+				key := blk[j].Key
+				b := heads[j]
+				for i := int32(0); i < counts[j]; i++ {
+					if b.tuples[i].Key == key {
+						dst = append(dst, b.tuples[i], blk[j])
+					}
 				}
 			}
-			hop++
+		} else {
+			for j := 0; j < n; j++ {
+				key := blk[j].Key
+				b, bn, nxt := heads[j], counts[j], nexts[j]
+				for {
+					for i := int32(0); i < bn; i++ {
+						if b.tuples[i].Key == key {
+							dst = append(dst, b.tuples[i], blk[j])
+						}
+					}
+					if nxt == nil {
+						break
+					}
+					b = nxt
+					bn = b.n
+					nxt = b.next
+				}
+			}
 		}
 	}
 	return dst, (len(dst) - n0) / 2
@@ -209,4 +620,14 @@ func (t *LockFree) ProbeBatch(probes []tuple.Tuple, dst []tuple.Tuple) ([]tuple.
 		}
 	}
 	return dst, (len(dst) - n0) / 2
+}
+
+// ProbeBytesProcessed is the bytes-processed definition shared by every
+// probe benchmark and throughput report: the probing tuple stream plus the
+// (stored, probe) pairs the probe logically emits, 16 bytes per tuple.
+// Count-only and materializing probes over the same streams therefore
+// report throughput against identical byte totals, and their MB/s figures
+// differ only by time — not by accounting (PERFORMANCE.md §7).
+func ProbeBytesProcessed(probes, matches int) int64 {
+	return int64(probes+2*matches) * tuple.Bytes
 }

@@ -214,12 +214,66 @@ func TestZeroAllocSteadyState(t *testing.T) {
 	}
 }
 
+// TestProbePipelinedZeroAlloc pins the allocation contract of the
+// prefetched probe across pipeline depths: the two-stage probe (and its
+// counting form) stages bucket heads in fixed stack arrays, so no
+// distance may allocate in steady state.
+func TestProbePipelinedZeroAlloc(t *testing.T) {
+	build := diffKeySets()["highdup"]
+	probes := diffKeySets()["skewed"]
+	for _, d := range []int{1, 8, 16, prefBlockMax} {
+		tab := New(len(build))
+		tab.SetProbePrefetch(d)
+		tab.InsertBatch(build)
+		pairs := make([]tuple.Tuple, 0, 4*len(build))
+		pairs, _ = tab.ProbeBatch(probes, pairs[:0]) // size the pair buffer
+		var n int
+		if allocs := testing.AllocsPerRun(10, func() {
+			pairs, _ = tab.ProbeBatch(probes, pairs[:0])
+			n = tab.ProbeBatchCount(probes)
+		}); allocs != 0 {
+			t.Fatalf("distance %d: probe allocates %.1f per run, want 0", d, allocs)
+		}
+		_ = n
+	}
+}
+
+// TestProbePrefetchDistanceDiff compares the prefetched probe against the
+// plain scalar walk at every pipeline depth: identical (stored, probe)
+// pairs in identical order, identical counts. Distance is the one knob
+// that must never change results.
+func TestProbePrefetchDistanceDiff(t *testing.T) {
+	sets := diffKeySets()
+	for buildName, build := range sets {
+		for probeName, probes := range sets {
+			ref := New(len(build))
+			for _, x := range build {
+				ref.Insert(x)
+			}
+			want := scalarPairs(ref, probes)
+			for _, d := range []int{1, 2, 8, 16, 32, prefBlockMax} {
+				tab := New(len(build))
+				tab.SetProbePrefetch(d)
+				tab.InsertBatch(build)
+				got, n := tab.ProbeBatch(probes, nil)
+				equalPairs(t, buildName+"->"+probeName, got, want)
+				if c := tab.ProbeBatchCount(probes); c != n {
+					t.Fatalf("%s->%s d=%d: count %d != materialized %d", buildName, probeName, d, c, n)
+				}
+			}
+		}
+	}
+}
+
 // FuzzBatchDiff drives batch build+probe against the scalar reference
-// with arbitrary key bytes.
+// with arbitrary key bytes and an arbitrary prefetch distance, so the
+// pipelined insert and probe paths are fuzzed at every depth (dRaw is
+// clamped into [1, prefBlockMax]; 1 selects the unpipelined loops).
 func FuzzBatchDiff(f *testing.F) {
-	f.Add([]byte{1, 2, 3, 4, 1, 2, 3, 4}, []byte{1, 2, 3, 4})
-	f.Add([]byte{}, []byte{9, 9, 9, 9})
-	f.Fuzz(func(t *testing.T, rawBuild, rawProbe []byte) {
+	f.Add([]byte{1, 2, 3, 4, 1, 2, 3, 4}, []byte{1, 2, 3, 4}, uint8(16))
+	f.Add([]byte{}, []byte{9, 9, 9, 9}, uint8(1))
+	f.Add([]byte{7, 0, 0, 0, 7, 0, 0, 0, 7, 0, 0, 0}, []byte{7, 0, 0, 0}, uint8(255))
+	f.Fuzz(func(t *testing.T, rawBuild, rawProbe []byte, dRaw uint8) {
 		decode := func(raw []byte) []tuple.Tuple {
 			out := make([]tuple.Tuple, 0, len(raw)/4)
 			for r := bytes.NewReader(raw); ; {
@@ -237,6 +291,7 @@ func FuzzBatchDiff(f *testing.F) {
 			ref.Insert(x)
 		}
 		tab := New(len(build))
+		tab.SetProbePrefetch(int(dRaw))
 		tab.InsertBatch(build)
 		want := scalarPairs(ref, probes)
 		got, n := tab.ProbeBatch(probes, nil)
@@ -247,6 +302,9 @@ func FuzzBatchDiff(f *testing.F) {
 			if got[i] != want[i] {
 				t.Fatalf("pair tuple %d differs", i)
 			}
+		}
+		if c := tab.ProbeBatchCount(probes); c != n {
+			t.Fatalf("ProbeBatchCount = %d, ProbeBatch = %d", c, n)
 		}
 	})
 }
@@ -302,9 +360,13 @@ func BenchmarkKernelProbe(b *testing.B) {
 	tab := New(len(tuples))
 	tab.InsertBatch(tuples)
 	probes := tuples[:10_000]
+	// One bytes-processed definition for every probe benchmark: the probe
+	// stream plus the pairs it logically emits (ProbeBytesProcessed), so
+	// probe and probecount MB/s differ only by time, never by accounting.
+	bytesProcessed := ProbeBytesProcessed(len(probes), tab.ProbeBatchCount(probes))
 	var sink benchSink
 	b.Run("scalar", func(b *testing.B) {
-		b.SetBytes(int64(len(probes)) * 16)
+		b.SetBytes(bytesProcessed)
 		for i := 0; i < b.N; i++ {
 			for _, p := range probes {
 				pv := p
@@ -314,7 +376,7 @@ func BenchmarkKernelProbe(b *testing.B) {
 	})
 	b.Run("batched", func(b *testing.B) {
 		pairs := make([]tuple.Tuple, 0, 4096)
-		b.SetBytes(int64(len(probes)) * 16)
+		b.SetBytes(bytesProcessed)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			for lo := 0; lo < len(probes); lo += 1024 {
@@ -343,9 +405,13 @@ func BenchmarkKernelProbeCount(b *testing.B) {
 	tab := New(len(tuples))
 	tab.InsertBatch(tuples)
 	probes := tuples[:10_000]
+	// Same bytes-processed definition as BenchmarkKernelProbe: counting
+	// probes walk the same chains and logically process the same pairs,
+	// they just skip materializing them.
+	bytesProcessed := ProbeBytesProcessed(len(probes), tab.ProbeBatchCount(probes))
 	var total int
 	b.Run("scalar", func(b *testing.B) {
-		b.SetBytes(int64(len(probes)) * 16)
+		b.SetBytes(bytesProcessed)
 		for i := 0; i < b.N; i++ {
 			n := 0
 			for _, p := range probes {
@@ -355,10 +421,45 @@ func BenchmarkKernelProbeCount(b *testing.B) {
 		}
 	})
 	b.Run("batched", func(b *testing.B) {
-		b.SetBytes(int64(len(probes)) * 16)
+		b.SetBytes(bytesProcessed)
 		for i := 0; i < b.N; i++ {
 			total = tab.ProbeBatchCount(probes)
 		}
 	})
 	_ = total
+}
+
+// TestProbeBytesProcessedFormula pins the shared throughput accounting:
+// bytes processed = (probes + 2*matches) * tuple.Bytes — the probing
+// stream plus both tuples of every logically emitted (stored, probe)
+// pair. Every probe benchmark's SetBytes must agree with it, whether the
+// variant materializes pairs or only counts them.
+func TestProbeBytesProcessedFormula(t *testing.T) {
+	for _, tc := range []struct {
+		probes, matches int
+		want            int64
+	}{
+		{0, 0, 0},
+		{1, 0, 1 * tuple.Bytes},
+		{10, 3, 16 * tuple.Bytes},
+		{10_000, 99_949, (10_000 + 2*99_949) * tuple.Bytes},
+	} {
+		if got := ProbeBytesProcessed(tc.probes, tc.matches); got != tc.want {
+			t.Errorf("ProbeBytesProcessed(%d, %d) = %d, want %d", tc.probes, tc.matches, got, tc.want)
+		}
+	}
+
+	// The materializing and counting probes must agree on the match count
+	// that feeds the formula — the two benchmarks account identical bytes.
+	tuples := benchTuples(10_000, 1000)
+	tab := New(len(tuples))
+	tab.InsertBatch(tuples)
+	probes := tuples[:1000]
+	pairs, m := tab.ProbeBatch(probes, nil)
+	if cnt := tab.ProbeBatchCount(probes); cnt != m {
+		t.Fatalf("ProbeBatchCount = %d, ProbeBatch matches = %d", cnt, m)
+	}
+	if got, want := ProbeBytesProcessed(len(probes), m), int64(len(probes)+len(pairs))*tuple.Bytes; got != want {
+		t.Errorf("bytes processed %d != probe stream plus emitted pairs %d", got, want)
+	}
 }

@@ -52,9 +52,19 @@ type Table struct {
 	buckets []bucket
 	mask    uint32
 	shift   uint32 // hash bits consumed upstream (radix partitioning)
+	pref    int32  // probe prefetch distance (see prefetch.go)
+	tick    int32  // keeps pipelined stage-one loads observable (batch.go)
 	size    int64  // tuples stored
 	extra   int64  // overflow buckets owned (chained or free-listed)
+	chained int64  // overflow buckets live in chains (duplicate-ratio proxy)
 	free    *bucket
+
+	// dirty lists the head buckets this build epoch touched, appended on
+	// first touch by every insert path. Reset visits only these instead of
+	// sweeping the whole directory: a windowed build typically dirties a
+	// small fraction of a pooled directory, and the sweep was the cost
+	// that made the pooled build lose to a freshly allocated table.
+	dirty []*bucket
 
 	tracer cachesim.Tracer
 	base   uint64 // logical base address for tracing
@@ -65,7 +75,7 @@ type Table struct {
 // of two, as in the original benchmark.
 func New(n int) *Table {
 	nb := nextPow2(n/2 + 1)
-	return &Table{buckets: make([]bucket, nb), mask: uint32(nb - 1)}
+	return &Table{buckets: make([]bucket, nb), mask: uint32(nb - 1), pref: probePrefetch.Load()}
 }
 
 // SetShift discards the low shift bits of the hash for bucket placement.
@@ -91,15 +101,24 @@ func (t *Table) Grow(n int) {
 	t.buckets = make([]bucket, nb)
 	t.mask = uint32(nb - 1)
 	t.size = 0
+	t.chained = 0
+	t.dirty = t.dirty[:0] // old pointers target the discarded directory
 }
 
 // Reset clears the table for reuse: every overflow bucket moves to the
 // free list, the directory restarts empty, and the directory allocation is
 // kept. A steady-state window over a pooled table therefore inserts with
 // zero allocations once the first window has sized the chains.
+//
+// Reset visits only the dirty list — the head buckets this build epoch
+// actually touched — not the directory. The pool hands out the next size
+// class up, so a windowed build typically dirties a small fraction of the
+// buckets, and even a read-only full sweep (let alone the original
+// read-modify-write of every header) costs more than the build it enables:
+// the sweep is what made the pooled build lose to a freshly allocated
+// table before dirty tracking.
 func (t *Table) Reset() {
-	for i := range t.buckets {
-		b := &t.buckets[i]
+	for _, b := range t.dirty {
 		for ov := b.next; ov != nil; {
 			nxt := ov.next
 			ov.next = t.free
@@ -109,7 +128,9 @@ func (t *Table) Reset() {
 		b.n = 0
 		b.next = nil
 	}
+	t.dirty = t.dirty[:0]
 	t.size = 0
+	t.chained = 0
 	t.tracer = nil
 	t.base = 0
 }
@@ -144,6 +165,9 @@ func (t *Table) SetTracer(tr cachesim.Tracer, base uint64) {
 func (t *Table) Insert(x tuple.Tuple) {
 	idx := (Hash(x.Key) >> t.shift) & t.mask
 	b := &t.buckets[idx]
+	if b.n == 0 && b.next == nil {
+		t.dirty = append(t.dirty, b)
+	}
 	if t.tracer != nil {
 		t.tracer.Access(t.base + uint64(idx)*bucketBytes)
 		t.tracer.Op(4)
@@ -153,6 +177,7 @@ func (t *Table) Insert(x tuple.Tuple) {
 		*nb = *b
 		b.next = nb
 		b.n = 0
+		t.chained++
 		if t.tracer != nil {
 			t.tracer.Access(t.base + uint64(idx)*bucketBytes + uint64(t.extra)*(1<<20))
 			t.tracer.Op(4)
@@ -161,6 +186,23 @@ func (t *Table) Insert(x tuple.Tuple) {
 	b.tuples[b.n] = x
 	b.n++
 	t.size++
+}
+
+// Chained reports the number of overflow buckets currently linked into
+// chains — zero exactly when every chain fits its head bucket. The probe
+// kernels read it to pick the monomorphic resolve loop: a flat walk with
+// no pointer chase when zero, the chain walk otherwise (see batch.go).
+func (t *Table) Chained() int64 { return t.chained }
+
+// DupRatio is the build-side duplication proxy the probe specialization
+// keys on: live overflow buckets per directory bucket. Unique-key builds
+// at the design load factor sit near zero; duplicate-heavy builds grow
+// linearly with the average chain length.
+func (t *Table) DupRatio() float64 {
+	if len(t.buckets) == 0 {
+		return 0
+	}
+	return float64(t.chained) / float64(len(t.buckets))
 }
 
 // Probe walks the chain for key and calls emit for every stored tuple with
@@ -181,6 +223,7 @@ func (t *Table) Probe(key int32, emit func(tuple.Tuple)) int {
 			if b.tuples[i].Key == key {
 				matches++
 				if emit != nil {
+					//lint:allow hotpathalloc the scalar emit reference path is deliberately indirect; batched probes avoid it
 					emit(b.tuples[i])
 				}
 			}
@@ -212,8 +255,10 @@ func (t *Table) MemBytes() int64 {
 type Shared struct {
 	buckets []sharedBucket
 	mask    uint32
+	pref    int32
 	size    atomic.Int64
 	extra   atomic.Int64
+	chained atomic.Int64 // overflow buckets live in chains (see Table.Chained)
 
 	// freeMu guards the overflow free list: overflow events under
 	// different bucket latches may race on it. Overflows are rare (once
@@ -241,14 +286,19 @@ func (t *Shared) Grow(n int) {
 	t.buckets = make([]sharedBucket, nb)
 	t.mask = uint32(nb - 1)
 	t.size.Store(0)
+	t.chained.Store(0)
 }
 
 // Reset clears the table for reuse, recycling overflow buckets onto the
 // free list. Not safe for concurrent use; call between windows once all
-// workers have quiesced.
+// workers have quiesced. Clean buckets are skipped without writing, as in
+// Table.Reset.
 func (t *Shared) Reset() {
 	for i := range t.buckets {
 		b := &t.buckets[i].bucket
+		if b.n == 0 && b.next == nil {
+			continue
+		}
 		for ov := b.next; ov != nil; {
 			nxt := ov.next
 			ov.next = t.free
@@ -260,6 +310,7 @@ func (t *Shared) Reset() {
 		b.next = nil
 	}
 	t.size.Store(0)
+	t.chained.Store(0)
 	t.tracer = nil
 	t.base = 0
 }
@@ -302,7 +353,7 @@ type sharedBucket struct { //lint:allow falseshare compact bucket directory is i
 // NewShared creates a concurrently writable table sized for n tuples.
 func NewShared(n int) *Shared {
 	nb := nextPow2(n/2 + 1)
-	return &Shared{buckets: make([]sharedBucket, nb), mask: uint32(nb - 1)}
+	return &Shared{buckets: make([]sharedBucket, nb), mask: uint32(nb - 1), pref: probePrefetch.Load()}
 }
 
 // Insert adds a tuple under the bucket latch with the same O(1)
@@ -323,6 +374,7 @@ func (t *Shared) Insert(x tuple.Tuple) {
 		*nb = *b
 		b.next = nb
 		b.n = 0
+		t.chained.Add(1)
 		if t.tracer != nil {
 			t.tracer.Access(t.base + uint64(idx)*bucketBytes + uint64(t.extra.Load())*(1<<20))
 			t.tracer.Op(4)
@@ -352,6 +404,7 @@ func (t *Shared) Probe(key int32, emit func(tuple.Tuple)) int {
 			if bb.tuples[i].Key == key {
 				matches++
 				if emit != nil {
+					//lint:allow hotpathalloc the scalar emit reference path is deliberately indirect; batched probes avoid it
 					emit(bb.tuples[i])
 				}
 			}

@@ -1,0 +1,141 @@
+package hashtable
+
+// Software-prefetched probing.
+//
+// A probe over an out-of-cache table is latency-bound, not bandwidth-bound:
+// each probe's directory access is an independent random read, but the
+// scalar loop serializes them — hash, load the bucket line (stall), walk,
+// repeat. The batched probe kernels instead run a two-stage pipeline per
+// block of D probes: stage one hashes every key in the block and issues an
+// early load of its bucket head (the head count and the overflow pointer —
+// both lines of the 80-byte bucket), stage two resolves the matches. By the
+// time stage two reaches probe j, its bucket line has been in flight for up
+// to D-1 independent loads, so the misses overlap instead of queuing —
+// software prefetching by memory-level parallelism, the Go analogue of the
+// PREFETCHT0 batching in Balkesen et al.'s radix-join code and the
+// index-probe batching of Shahvarani & Jacobsen.
+//
+// D is the prefetch distance. It trades pipelining against L1 pressure
+// (the staged block must stay resident between the stages) and is
+// hardware-dependent, so the window-state pool calibrates it once per
+// process at construction (pool.New -> CalibrateProbePrefetch) by timing a
+// synthetic out-of-cache probe at each candidate distance. Tables snapshot
+// the package default at construction; SetProbePrefetch overrides per
+// table (the differential and fuzz tests sweep it — every distance must
+// produce byte-identical (stored, probe) pair order).
+
+import (
+	"math/rand/v2"
+	"sync/atomic"
+
+	"repro/internal/clock"
+	"repro/internal/tuple"
+)
+
+// prefBlockMax bounds the prefetch distance: the stage-one scratch
+// (bucket pointer, head count, overflow pointer per probe) lives in
+// fixed-size stack arrays of this length.
+const prefBlockMax = 64
+
+// defaultProbePrefetch is the distance used before any calibration ran.
+// 16 in-flight lines sits comfortably inside the ~10-16 miss-status
+// registers of recent x86 cores.
+const defaultProbePrefetch = 16
+
+// probePrefetch is the process-wide default distance, snapshotted by New.
+var probePrefetch atomic.Int32
+
+func init() { probePrefetch.Store(defaultProbePrefetch) }
+
+// ProbePrefetchDistance returns the process-wide default prefetch
+// distance for newly constructed tables.
+func ProbePrefetchDistance() int { return int(probePrefetch.Load()) }
+
+// SetProbePrefetchDistance sets the process-wide default, clamped to
+// [1, prefBlockMax]. 1 disables pipelining (plain per-probe walk).
+func SetProbePrefetchDistance(d int) { probePrefetch.Store(int32(clampPref(d))) }
+
+// SetProbePrefetch overrides the prefetch distance of this table only,
+// clamped to [1, prefBlockMax]. 1 disables pipelining.
+func (t *Table) SetProbePrefetch(d int) { t.pref = int32(clampPref(d)) }
+
+// SetProbePrefetch overrides the prefetch distance of this table only.
+func (t *Shared) SetProbePrefetch(d int) { t.pref = int32(clampPref(d)) }
+
+func clampPref(d int) int {
+	if d < 1 {
+		d = 1
+	}
+	if d > prefBlockMax {
+		d = prefBlockMax
+	}
+	return d
+}
+
+// prefCandidates are the distances the calibration sweep times. 1 is the
+// unpipelined control; the rest bracket the MSHR capacity of current
+// hardware.
+var prefCandidates = [...]int{1, 8, 16, 32, 64}
+
+// CalibrateProbePrefetch times ProbeBatchCount over a synthetic
+// out-of-L2 table at every candidate distance and returns the fastest.
+// The pool runs it once per process at construction; a full sweep takes
+// well under a millisecond. The choice only affects speed, never results:
+// every distance produces identical (stored, probe) pair order.
+func CalibrateProbePrefetch() int {
+	best, _ := calibrateProbePrefetch()
+	return best
+}
+
+// CalibrateProbePrefetchSweep returns the per-candidate timings of one
+// calibration run (ns per candidate, aligned with Candidates), for
+// reporting the measured sweep (PERFORMANCE.md).
+func CalibrateProbePrefetchSweep() (candidates []int, ns []int64) {
+	_, ns = calibrateProbePrefetch()
+	return append([]int(nil), prefCandidates[:]...), ns
+}
+
+// calibrationSink keeps the timed probes' results observable so the
+// calibration loops are never dead code.
+var calibrationSink atomic.Int64
+
+func calibrateProbePrefetch() (best int, ns []int64) {
+	// A table past L2: 32k tuples -> 16384 buckets * 80 B = 1.3 MiB
+	// directory, with dup ~4 so both the flat and chained resolve paths
+	// see realistic work.
+	const buildN, probeN, domain = 32_768, 4_096, 8_192
+	rng := rand.New(rand.NewPCG(0x9e3779b9, 0x85ebca87))
+	build := make([]tuple.Tuple, buildN)
+	for i := range build {
+		build[i] = tuple.Tuple{Key: rng.Int32N(domain), Payload: int32(i)}
+	}
+	probes := make([]tuple.Tuple, probeN)
+	for i := range probes {
+		probes[i] = tuple.Tuple{Key: rng.Int32N(domain), Payload: int32(i)}
+	}
+	tab := New(buildN)
+	tab.InsertBatch(build)
+
+	ns = make([]int64, len(prefCandidates))
+	best = prefCandidates[0]
+	bestNs := int64(-1)
+	sink := 0
+	for ci, cand := range prefCandidates {
+		tab.SetProbePrefetch(cand)
+		sink += tab.ProbeBatchCount(probes) // warm the hierarchy per shape
+		elapsed := int64(0)
+		for rep := 0; rep < 2; rep++ {
+			sw := clock.StartStopwatch()
+			sink += tab.ProbeBatchCount(probes)
+			if e := sw.ElapsedNs(); rep == 0 || e < elapsed {
+				elapsed = e // min of reps: noise only ever adds time
+			}
+		}
+		ns[ci] = elapsed
+		if bestNs < 0 || elapsed < bestNs {
+			bestNs, best = elapsed, cand
+		}
+	}
+	calibrationSink.Store(int64(sink))
+	return best, ns
+}

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/hashtable"
 	"repro/internal/metrics"
 	"repro/internal/radix"
 	"repro/internal/tuple"
@@ -45,6 +46,15 @@ func (PRJ) Run(ctx *core.ExecContext) error {
 	bits := ctx.Knobs.RadixBits
 	fanout := radix.Fanout(bits)
 
+	// Single-threaded untraced window builds take the fused
+	// partition+build kernel: the build side scatters straight into one
+	// pooled table per partition, skipping the intermediate partition
+	// array entirely. Fusion pays only while the whole directory set is
+	// cache-resident, hence the FuseBuildBelow gate; per-table insertion
+	// order equals the unfused pipeline's, so results are identical.
+	fuse := ctx.Threads == 1 && ctx.Tracer == nil && len(ctx.R) < radix.FuseBuildBelow
+	var tabsR []*hashtable.Table
+
 	// Per-thread partition pieces (tuples and their hashes), combined
 	// per partition at join time. The pieces alias the per-thread
 	// partitioners' buffers, released only after all workers finish.
@@ -70,11 +80,21 @@ func (PRJ) Run(ctx *core.ExecContext) error {
 		parters[2*tid], parters[2*tid+1] = pr, ps
 		lo, hi := core.Chunk(len(ctx.R), ctx.Threads, tid)
 		tw.AddTuples(int64(hi - lo))
-		partsR[tid], hashR[tid] = pr.PartitionHashed(ctx.R[lo:hi], bits, ctx.Tracer, 0)
+		if fuse {
+			tabsR = pr.PartitionBuild(ctx.R, bits, func(n int) *hashtable.Table {
+				return ctx.Pool.Table(n, bits)
+			})
+		} else {
+			partsR[tid], hashR[tid] = pr.PartitionHashed(ctx.R[lo:hi], bits, ctx.Tracer, 0)
+		}
 		lo, hi = core.Chunk(len(ctx.S), ctx.Threads, tid)
 		tw.AddTuples(int64(hi - lo))
 		partsS[tid], hashS[tid] = ps.PartitionHashed(ctx.S[lo:hi], bits, ctx.Tracer, 1<<34)
-		ctx.M.MemAdd(int64(hi-lo) * 16 * 2) // physical copies of both inputs
+		cp := int64(hi-lo) * 16 * 2 // physical copies of both inputs
+		if fuse {
+			cp = int64(hi-lo) * 16 // fused build makes no R copy
+		}
+		ctx.M.MemAdd(cp)
 		ctx.Begin(tid, metrics.PhaseOther)
 		barrier.Done()
 		barrier.Wait()
@@ -89,20 +109,29 @@ func (PRJ) Run(ctx *core.ExecContext) error {
 				break
 			}
 			ctx.Begin(tid, metrics.PhaseBuildSort)
-			nR := 0
-			for t := 0; t < ctx.Threads; t++ {
-				nR += len(partsR[t][p])
-			}
-			if nR == 0 {
-				continue
-			}
-			tw.AddTuples(int64(nR))
-			table := ctx.Pool.Table(nR, bits)
-			if ctx.Tracer != nil {
-				table.SetTracer(ctx.Tracer, uint64(p)<<22|1<<40)
-			}
-			for t := 0; t < ctx.Threads; t++ {
-				table.InsertBatchHashed(partsR[t][p], hashR[t][p])
+			var table *hashtable.Table
+			if fuse {
+				// Build already happened inside the fused scatter.
+				if table = tabsR[p]; table == nil {
+					continue
+				}
+				tw.AddTuples(table.Size())
+			} else {
+				nR := 0
+				for t := 0; t < ctx.Threads; t++ {
+					nR += len(partsR[t][p])
+				}
+				if nR == 0 {
+					continue
+				}
+				tw.AddTuples(int64(nR))
+				table = ctx.Pool.Table(nR, bits)
+				if ctx.Tracer != nil {
+					table.SetTracer(ctx.Tracer, uint64(p)<<22|1<<40)
+				}
+				for t := 0; t < ctx.Threads; t++ {
+					table.InsertBatchHashed(partsR[t][p], hashR[t][p])
+				}
 			}
 			ctx.M.MemAdd(table.MemBytes())
 

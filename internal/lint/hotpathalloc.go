@@ -29,7 +29,15 @@ import (
 //     strings builds a fresh backing array per iteration);
 //   - an argument implicitly converted to an interface parameter inside a
 //     loop (boxing a concrete value allocates; only calls whose callee
-//     signature resolves locally are checked).
+//     signature resolves locally are checked);
+//   - a call through a function value inside a loop (a parameter, local,
+//     captured variable, or struct field of function type). An indirect
+//     call per tuple defeats inlining and costs more than the work it
+//     wraps in a memory-bound kernel — measured on the fused build
+//     scatter, where a per-tuple non-inlined insert erased the whole
+//     fusion win. Direct calls to named functions and methods are fine
+//     (the inliner sees through them); deliberate per-probe callbacks —
+//     the scalar emit reference paths — carry //lint:allow with a reason.
 //
 // Appends to locally declared buffers are the kernels' bread and butter
 // and are not flagged, nor are closures and slice makes that run once,
@@ -43,7 +51,7 @@ func (HotPathAlloc) Name() string { return "hotpathalloc" }
 
 // Doc implements Analyzer.
 func (HotPathAlloc) Doc() string {
-	return "no captured-slice append, fmt.Sprintf, map creation, or per-loop closure/scratch/string/interface-boxing allocation in //iawj:hotpath functions"
+	return "no captured-slice append, fmt.Sprintf, map creation, per-loop closure/scratch/string/interface-boxing allocation, or per-loop function-value calls in //iawj:hotpath functions"
 }
 
 // Severity implements Analyzer.
@@ -110,6 +118,9 @@ func (HotPathAlloc) checkHotFunc(p *Package, fn *ast.FuncDecl, imports map[strin
 			if inLoop(n.Pos()) {
 				for _, pos := range boxedArgs(p, n) {
 					flag(pos, "implicit interface conversion inside a loop in a //iawj:hotpath function; boxing the argument allocates, pass a concrete type or hoist the call")
+				}
+				if pos, ok := indirectCallee(p, n); ok {
+					flag(pos, "call through a function value inside a loop in a //iawj:hotpath function; a per-tuple indirect call defeats inlining — inline the loop body or use the batched kernel APIs")
 				}
 			}
 			switch fun := n.Fun.(type) {
@@ -262,6 +273,38 @@ func boxedArgs(p *Package, call *ast.CallExpr) []token.Pos {
 		out = append(out, arg.Pos())
 	}
 	return out
+}
+
+// indirectCallee reports whether the call goes through a function value —
+// an identifier bound to a *types.Var (parameter, local, captured
+// variable) or a struct field, of function type — rather than a directly
+// named function, method, builtin, or type conversion. Unresolvable
+// callees are not flagged (conservative under partial type information).
+// An immediately invoked func literal is handled by the closure check.
+func indirectCallee(p *Package, call *ast.CallExpr) (token.Pos, bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj, ok := p.Info.Uses[fun].(*types.Var); ok {
+			if _, isFunc := obj.Type().Underlying().(*types.Signature); isFunc {
+				return fun.Pos(), true
+			}
+		}
+	case *ast.SelectorExpr:
+		// A field of function type (sel.Kind FieldVal). Method values and
+		// method expressions resolve to *types.Func and stay unflagged.
+		if sel, ok := p.Info.Selections[fun]; ok && sel.Kind() == types.FieldVal {
+			if _, isFunc := sel.Type().Underlying().(*types.Signature); isFunc {
+				return fun.Sel.Pos(), true
+			}
+		}
+		// A package-level function variable spelled pkg.Hook.
+		if obj, ok := p.Info.Uses[fun.Sel].(*types.Var); ok {
+			if _, isFunc := obj.Type().Underlying().(*types.Signature); isFunc {
+				return fun.Sel.Pos(), true
+			}
+		}
+	}
+	return 0, false
 }
 
 // capturedTarget reports whether the append target's root identifier is

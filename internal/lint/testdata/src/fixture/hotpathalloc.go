@@ -26,9 +26,9 @@ func hotWithClosure(keys []int, emit func(int)) {
 	for _, k := range keys {
 		probe := func(x int) { // want hotpathalloc
 			_ = fmt.Sprint(x) // want hotpathalloc
-			emit(x)
+			emit(x)           // want hotpathalloc
 		}
-		probe(k)
+		probe(k) // want hotpathalloc
 	}
 }
 
@@ -37,7 +37,7 @@ func hotBatchedLoop(keys []int, emit func(int)) {
 	scratch := make([]int, 0, len(keys)) // ok: hoisted before the loop
 	flush := func(xs []int) {            // ok: constructed once
 		for _, x := range xs {
-			emit(x)
+			emit(x) // want hotpathalloc
 		}
 	}
 	for _, k := range keys {
@@ -45,7 +45,29 @@ func hotBatchedLoop(keys []int, emit func(int)) {
 		perIter = append(perIter, k)
 		scratch = append(scratch, perIter...)
 	}
-	flush(scratch)
+	flush(scratch) // ok: outside any loop, once per call
+}
+
+type emitter struct{ fn func(int) }
+
+func namedSink(x int) { _ = x }
+
+//iawj:hotpath
+func hotIndirectCalls(keys []int, emit func(int), e emitter) {
+	for _, k := range keys {
+		emit(k)       // want hotpathalloc
+		e.fn(k)       // want hotpathalloc
+		namedSink(k)  // ok: direct call, the inliner sees through it
+		_ = len(keys) // ok: builtin
+	}
+	emit(len(keys)) // ok: outside the loop, once per run
+}
+
+//iawj:hotpath
+func hotAllowedCallback(keys []int, emit func(int)) {
+	for _, k := range keys {
+		emit(k) //lint:allow hotpathalloc the scalar emit reference path is deliberately indirect
+	}
 }
 
 func takeAny(v any) { _ = v }

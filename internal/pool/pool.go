@@ -42,8 +42,23 @@ type Pool struct {
 	u32s    [][]uint32
 }
 
-// New returns an empty Pool.
-func New() *Pool { return &Pool{} }
+// calibrateOnce runs the probe-prefetch distance calibration the first
+// time any Pool is built. Pool construction marks the start of real
+// windowed work (benchmark harness or driver setup, never a hot loop), so
+// it is the natural once-per-process point to measure the host and pin
+// the batched kernels' pipeline depth to it.
+var calibrateOnce sync.Once
+
+// New returns an empty Pool. The first Pool of the process calibrates the
+// hashtable probe-prefetch distance on the running host
+// (hashtable.CalibrateProbePrefetch); explicit SetProbePrefetchDistance
+// calls afterwards still win.
+func New() *Pool {
+	calibrateOnce.Do(func() {
+		hashtable.SetProbePrefetchDistance(hashtable.CalibrateProbePrefetch())
+	})
+	return &Pool{}
+}
 
 // sizeClass maps a directory bucket count (a power of two) to its class.
 func sizeClass(nb int) int {

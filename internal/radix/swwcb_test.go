@@ -129,13 +129,23 @@ func TestPartitionerZeroSteadyStateAllocs(t *testing.T) {
 }
 
 // FuzzPartitionerDiff drives the SWWCB scatter against the scalar
-// reference with arbitrary key bytes and bit counts.
+// reference with arbitrary key bytes, bit counts, and staging geometry:
+// ftRaw picks the per-partition staging slots, dbRaw the direct-scatter
+// threshold (1 forces staging at every fanout, large values force the
+// direct path), so the fuzzer crosses every staged/direct leg with every
+// fanout. It also checks the fused partition+build product against the
+// partition contents.
 func FuzzPartitionerDiff(f *testing.F) {
-	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(4))
-	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 255, 255, 255, 255}, uint8(1))
-	f.Add([]byte{}, uint8(9))
-	f.Fuzz(func(t *testing.T, raw []byte, bitsRaw uint8) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(4), uint8(0), uint8(0))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 255, 255, 255, 255}, uint8(1), uint8(4), uint8(1))
+	f.Add([]byte{}, uint8(9), uint8(16), uint8(200))
+	f.Fuzz(func(t *testing.T, raw []byte, bitsRaw, ftRaw, dbRaw uint8) {
 		bits := int(bitsRaw % 13)
+		ft := int(ftRaw % 33)   // 0 restores the default slot count
+		db := 1 << (dbRaw % 16) // 1 forces staging everywhere
+		if dbRaw == 0 {
+			db = 0 // restore the default threshold
+		}
 		rel := make(tuple.Relation, 0, len(raw)/4)
 		for r := bytes.NewReader(raw); ; {
 			var k int32
@@ -145,18 +155,54 @@ func FuzzPartitionerDiff(f *testing.F) {
 			rel = append(rel, tuple.Tuple{Key: k, Payload: int32(len(rel))})
 		}
 		want := Partition(rel, bits, nil, 0)
-		got := NewPartitioner().Partition(rel, bits, nil, 0)
+		p := NewPartitioner()
+		p.SetGeometry(ft, db)
+		got := p.Partition(rel, bits, nil, 0)
 		if len(got) != len(want) {
 			t.Fatalf("fanout %d, want %d", len(got), len(want))
 		}
-		for p := range want {
-			if len(got[p]) != len(want[p]) {
-				t.Fatalf("partition %d has %d tuples, want %d", p, len(got[p]), len(want[p]))
+		for pi := range want {
+			if len(got[pi]) != len(want[pi]) {
+				t.Fatalf("partition %d has %d tuples, want %d", pi, len(got[pi]), len(want[pi]))
 			}
-			for i := range want[p] {
-				if got[p][i] != want[p][i] {
-					t.Fatalf("partition %d tuple %d differs", p, i)
+			for i := range want[pi] {
+				if got[pi][i] != want[pi][i] {
+					t.Fatalf("partition %d tuple %d differs", pi, i)
 				}
+			}
+		}
+		// Hashed product: hashes must align with the partitioned tuples.
+		ph := NewPartitioner()
+		ph.SetGeometry(ft, db)
+		hparts, hhash := ph.PartitionHashed(rel, bits, nil, 0)
+		for pi := range want {
+			for i := range want[pi] {
+				if hparts[pi][i] != want[pi][i] {
+					t.Fatalf("hashed partition %d tuple %d differs", pi, i)
+				}
+				if hhash[pi][i] != hashtable.Hash(want[pi][i].Key) {
+					t.Fatalf("partition %d hash %d misaligned", pi, i)
+				}
+			}
+		}
+		// Fused product: per-partition tables sized and filled like the
+		// partitions themselves.
+		pf := NewPartitioner()
+		pf.SetGeometry(ft, db)
+		tabs := pf.PartitionBuild(rel, bits, func(n int) *hashtable.Table {
+			tab := hashtable.New(n)
+			tab.SetShift(bits)
+			return tab
+		})
+		for pi := range want {
+			if len(want[pi]) == 0 {
+				if tabs[pi] != nil {
+					t.Fatalf("partition %d empty but fused table non-nil", pi)
+				}
+				continue
+			}
+			if tabs[pi] == nil || tabs[pi].Size() != int64(len(want[pi])) {
+				t.Fatalf("partition %d fused table missing or missized", pi)
 			}
 		}
 	})
@@ -193,32 +239,32 @@ func partitionRehash(rel tuple.Relation, bits int) []tuple.Relation {
 	return parts
 }
 
-// BenchmarkKernelPartition is the satellite regression benchmark: rehash
-// is the old double-hash scatter, hashonce the fixed scalar path, swwcb
-// the write-combining kernel. scripts/bench.sh compares them into
-// BENCH_3.json; hashonce and swwcb must beat rehash.
+// BenchmarkKernelPartition is the satellite regression benchmark at the
+// production PRJ regime (2^20 tuples, 2^12-way fanout): rehash is the
+// pre-kernel scatter with fresh scratch, swwcb the tuned Partitioner
+// kernel (pooled buffers, direct scatter at this fanout per the measured
+// geometry). scripts/bench.sh compares them into BENCH_3.json; swwcb must
+// beat rehash. The old hashonce row — a stored-hash scalar scatter — is
+// retired: recomputing the multiplicative hash beats streaming a
+// per-tuple hash scratch through the cache, so the scalar Partition now
+// recomputes too and the row measured nothing the other two don't
+// (PERFORMANCE.md §"Winning back the kernels").
 func BenchmarkKernelPartition(b *testing.B) {
 	rng := rand.New(rand.NewPCG(3, 5))
-	rel := make(tuple.Relation, 131_072)
+	rel := make(tuple.Relation, 1<<20)
 	for i := range rel {
-		rel[i] = tuple.Tuple{Key: rng.Int32N(1 << 24), Payload: int32(i)}
+		rel[i] = tuple.Tuple{Key: rng.Int32N(1 << 30), Payload: int32(i)}
 	}
-	const bits = 10
+	const bits = 12
 	b.Run("rehash", func(b *testing.B) {
-		b.SetBytes(int64(len(rel)) * 16)
+		b.SetBytes(int64(len(rel)) * tupleBytes)
 		for i := 0; i < b.N; i++ {
 			partitionRehash(rel, bits)
 		}
 	})
-	b.Run("hashonce", func(b *testing.B) {
-		b.SetBytes(int64(len(rel)) * 16)
-		for i := 0; i < b.N; i++ {
-			Partition(rel, bits, nil, 0)
-		}
-	})
 	b.Run("swwcb", func(b *testing.B) {
 		p := NewPartitioner()
-		b.SetBytes(int64(len(rel)) * 16)
+		b.SetBytes(int64(len(rel)) * tupleBytes)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			p.Partition(rel, bits, nil, 0)

@@ -313,6 +313,7 @@ func MergeJoin(r, s []tuple.Tuple, emit JoinEmit, tr cachesim.Tracer, baseR, bas
 			if emit != nil {
 				for a := i; a < i2; a++ {
 					for b := j; b < j2; b++ {
+						//lint:allow hotpathalloc the scalar emit reference path is deliberately indirect
 						emit(r[a], s[b])
 					}
 				}

@@ -25,6 +25,11 @@ type Tuple struct {
 	Payload int32
 }
 
+// Bytes is the in-memory size of one Tuple (8-byte TS, 4-byte key,
+// 4-byte payload) — the unit every bytes-processed throughput account in
+// the benchmarks and BENCH_*.json files is defined in.
+const Bytes = 16
+
 // Relation is a chronologically ordered list of tuples from one input
 // stream, restricted to the window under study.
 type Relation []Tuple

@@ -12,10 +12,11 @@
 # JSON, one object per algorithm with ns/op, MB/s, and the match count.
 #
 # The kernels mode runs the BenchmarkKernel* microbenchmarks of
-# internal/radix and internal/hashtable — partition (rehash / hashonce /
-# swwcb), build (scalar / batched), probe (scalar / batched), probecount
-# (scalar / batched) — and writes per-variant results plus the speedup of
-# every variant over its kernel's baseline (rehash for partition, scalar
+# internal/radix and internal/hashtable — partition (rehash / swwcb),
+# partition_build (unfused / fused), build (scalar / batched), probe
+# (scalar / batched), probecount (scalar / batched) — and writes
+# per-variant results plus the speedup of every variant over its kernel's
+# baseline (rehash for partition, unfused for partition_build, scalar
 # elsewhere). See PERFORMANCE.md for how to read BENCH_3.json.
 #
 # Sweeps are intentionally short (BENCHTIME defaults to 1x for algorithms,
@@ -23,10 +24,23 @@
 # rigorous measurements — raise BENCHTIME for one.
 #
 # The -compare mode is the perf-regression gate (`make bench-gate`): it
-# runs a fresh kernel sweep and checks every (kernel, variant) pair's
-# ns/op against the recorded file, exiting 1 if any pair slowed down by
-# more than TOLERANCE_PCT percent (default 10) or a recorded variant
-# vanished. New variants with no recorded value are reported, not failed.
+# runs COMPARE_SWEEPS fresh kernel sweeps (default 2) at the recorded
+# file's benchtime and checks every variant's best (minimum) in-sweep
+# ratio to its kernel's baseline (e.g. swwcb ns / rehash ns) against
+# the same ratio in the recorded file, exiting 1 if even the best
+# observed ratio grew by more than TOLERANCE_PCT percent (default 10)
+# or a recorded variant vanished. Two noise defenses, both needed on a
+# shared virtualized host: (1) ratios, not absolute ns/op, are the
+# gated quantity — absolute timings drift 15-25% between sweeps with
+# machine load, while variant and baseline measured seconds apart in
+# one sweep share that load (the bracketed A/B PERFORMANCE.md documents
+# as the only trustworthy comparison here); (2) the minimum ratio
+# across sweeps is the compared value — noise only ever adds time, so
+# a load spike inflates one sweep's ratio but rarely every sweep's
+# (the same min-of-reps principle CalibrateProbePrefetch uses).
+# Baseline rows themselves (and absolute drift generally) are reported
+# for context, never failed. New variants with no recorded value are
+# reported, not failed; recorded variants that vanish are fatal.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -54,33 +68,82 @@ if [ "${1:-}" = "-compare" ]; then
     if [ -n "$base_go" ] && { [ "$base_go" != "$GO_VERSION" ] || [ "${base_cpus:-0}" != "$NUM_CPU" ]; }; then
         echo "bench.sh: warning: cross-machine comparison — baseline recorded on $base_go/${base_cpus:-?} cpus, running on $GO_VERSION/$NUM_CPU cpus; deltas below are flagged, not trusted" >&2
     fi
-    CUR="$(mktemp /tmp/iawj-bench-compare.XXXXXX.json)"
-    trap 'rm -f "$CUR"' EXIT
-    bash scripts/bench.sh kernels "$CUR" >/dev/null
+    SWEEPS="${COMPARE_SWEEPS:-2}"
+    base_bt="$(sed -n 's/.*"benchtime": "\([^"]*\)".*/\1/p' "$BASE" | head -1)"
+    curfiles=()
+    trap 'rm -f "${curfiles[@]}"' EXIT
+    for ((s = 1; s <= SWEEPS; s++)); do
+        cur="$(mktemp /tmp/iawj-bench-compare.XXXXXX.json)"
+        curfiles+=("$cur")
+        echo "bench.sh: fresh sweep $s/$SWEEPS (benchtime ${base_bt:-100x})"
+        BENCHTIME="${base_bt:-100x}" bash scripts/bench.sh kernels "$cur" >/dev/null
+    done
     awk -v tol="${TOLERANCE_PCT:-10}" '
-    # parse pulls id ("kernel/variant") and ns (ns_per_op) out of one
-    # results line; both files use the line-parseable one-object-per-line
-    # layout the kernels mode emits.
+    # parse pulls kern, id ("kernel/variant") and ns (ns_per_op) out of
+    # one results line; both files use the line-parseable
+    # one-object-per-line layout the kernels mode emits.
     function parse(line,    k, v, n) {
         k = line; sub(/.*"kernel": "/, "", k); sub(/".*/, "", k)
         v = line; sub(/.*"variant": "/, "", v); sub(/".*/, "", v)
         n = line; sub(/.*"ns_per_op": /, "", n); sub(/[,}].*/, "", n)
-        id = k "/" v; ns = n + 0
+        kern = k; id = k "/" v; ns = n + 0
     }
-    FNR == NR { if ($0 ~ /"kernel"/) { parse($0); old[id] = ns } next }
-    $0 ~ /"kernel"/ {
+    BEGIN {
+        # Must mirror the baseline map of the kernels mode below.
+        base["partition"] = "rehash"
+        base["partition_build"] = "unfused"
+        base["build"] = "scalar"
+        base["probe"] = "scalar"
+        base["probecount"] = "scalar"
+    }
+    FNR == 1 { fi++ }
+    $0 !~ /"kernel"/ { next }
+    fi == 1 { parse($0); old[id] = ns; kof[id] = kern; next }
+    {
         parse($0)
-        if (!(id in old)) {
-            printf "bench.sh: %-22s NEW       %12.0f ns/op (no recorded value)\n", id, ns
-            next
-        }
-        seen[id] = 1
-        delta = (ns - old[id]) * 100.0 / old[id]
-        verdict = "ok"
-        if (delta > tol) { verdict = "REGRESSED"; bad++ }
-        printf "bench.sh: %-22s %-9s %12.0f -> %.0f ns/op (%+.1f%%)\n", id, verdict, old[id], ns, delta
+        cur[fi, id] = ns
+        kof[id] = kern
+        if (!(id in seencur)) { seencur[id] = 1; order[no++] = id }
+        if (!(id in curmin) || ns < curmin[id]) curmin[id] = ns
     }
     END {
+        nsweeps = fi - 1
+        for (i = 0; i < no; i++) {
+            id = order[i]
+            if (!(id in old)) {
+                printf "bench.sh: %-22s NEW       %12.0f ns/op (no recorded value)\n", id, curmin[id]
+                continue
+            }
+            seen[id] = 1
+            k = kof[id]; bid = k "/" base[k]
+            drift = (curmin[id] - old[id]) * 100.0 / old[id]
+            if (base[k] == "" || id == bid || !(bid in old)) {
+                # Baseline rows gate nothing: absolute ns/op tracks host
+                # load, not kernel quality. Shown for context only
+                # (min across sweeps vs the recording).
+                printf "bench.sh: %-22s drift     %12.0f -> %.0f ns/op (%+.1f%%)\n", id, old[id], curmin[id], drift
+                continue
+            }
+            # Best (minimum) in-sweep ratio across the fresh sweeps;
+            # ratios never mix values from different sweeps.
+            curr = -1
+            for (s = 2; s <= fi; s++) {
+                if (!((s, id) in cur) || !((s, bid) in cur)) continue
+                r = cur[s, id] / cur[s, bid]
+                if (curr < 0 || r < curr) curr = r
+            }
+            if (curr < 0) {
+                printf "bench.sh: %-22s MISSING   recorded variant produced no result\n", id
+                bad++
+                continue
+            }
+            oldr = old[id] / old[bid]
+            delta = (curr - oldr) * 100.0 / oldr
+            verdict = "ok"
+            if (delta > tol) { verdict = "REGRESSED"; bad++ }
+            printf "bench.sh: %-22s %-9s ratio vs %s %.3f -> %.3f (%+.1f%%; best of %d sweeps)\n", \
+                id, verdict, base[k], oldr, curr, delta, nsweeps
+        }
         for (id in old) if (!(id in seen)) {
             printf "bench.sh: %-22s MISSING   recorded variant produced no result\n", id
             bad++
@@ -89,8 +152,8 @@ if [ "${1:-}" = "-compare" ]; then
             printf "bench.sh: %d kernel variant(s) regressed past %d%%\n", bad, tol > "/dev/stderr"
             exit 1
         }
-        printf "bench.sh: no kernel regression past %d%%\n", tol
-    }' "$BASE" "$CUR"
+        printf "bench.sh: no kernel regression past %d%% (best in-sweep ratio of %d sweeps)\n", tol, nsweeps
+    }' "$BASE" "${curfiles[@]}"
     exit 0
 fi
 
@@ -119,6 +182,9 @@ if [ "$MODE" = "kernels" ]; then
         sub(/^BenchmarkKernel/, "", parts[1])
         sub(/-[0-9]+$/, "", parts[2])
         kern[n] = tolower(parts[1])
+        # CamelCase benchmark names flatten under tolower; restore the
+        # word break for multi-word kernels.
+        if (kern[n] == "partitionbuild") kern[n] = "partition_build"
         variant[n] = parts[2]
         nsop[n] = ""; mbs[n] = ""
         for (i = 3; i < NF; i++) {
@@ -131,6 +197,7 @@ if [ "$MODE" = "kernels" ]; then
     END {
         if (n == 0) { print "bench.sh: no BenchmarkKernel results parsed" > "/dev/stderr"; exit 1 }
         base["partition"] = "rehash"
+        base["partition_build"] = "unfused"
         base["build"] = "scalar"
         base["probe"] = "scalar"
         base["probecount"] = "scalar"

@@ -20,7 +20,9 @@
 #                   whole-join conformance fuzzer
 #  10. bench smoke  every BenchmarkKernel* microbenchmark runs once under
 #                   the race detector, so the batched kernels stay
-#                   runnable and race-clean without a full measurement
+#                   runnable and race-clean without a full measurement;
+#                   the checked-in BENCH_3.json must also parse and record
+#                   no kernel variant below 1.0x of its baseline
 #  11. conformance smoke  iawjconform -smoke under the race detector:
 #                   the differential matrix (all 8 algorithms x threads x
 #                   workloads x schedule perturbations vs the reference
@@ -90,6 +92,18 @@ go test -run='^$' -fuzz='^FuzzConformance$' -fuzztime="$FUZZTIME" ./internal/ora
 step "bench smoke (kernel microbenchmarks, 1x under -race)"
 go test -race -run '^$' -bench '^BenchmarkKernel' -benchtime=1x \
     ./internal/radix ./internal/hashtable
+# The recorded kernel sweep must parse and show no batched kernel losing
+# to its scalar baseline: every speedup_vs_baseline entry >= 1.0
+# (PERFORMANCE.md §"Winning back the kernels"). Re-record with
+# `make bench-kernels` after an intentional kernel change.
+losing="$(jq -r '.speedup_vs_baseline | to_entries[]
+    | select(.value < 1.0) | "\(.key)=\(.value)"' BENCH_3.json)"
+if [ -n "$losing" ]; then
+    echo "BENCH_3.json records kernels losing to their baseline:" >&2
+    echo "$losing" >&2
+    exit 1
+fi
+echo "ok (BENCH_3.json: no kernel below 1.0x)"
 
 step "conformance smoke (iawjconform -smoke under -race)"
 go run -race ./cmd/iawjconform -smoke
