@@ -6,7 +6,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: check build test lint lint-json lint-sarif lint-race escapegate race trace-smoke bench bench-kernels bench-smoke bench-gate fuzz-smoke conform conform-full report-smoke fmt
+.PHONY: check build test lint lint-json lint-sarif lint-race escapegate race trace-smoke bench bench-kernels bench-smoke bench-gate fuzz-smoke conform conform-full report-smoke load-smoke fmt
 
 ## check: run the full CI gate (fmt, vet, build, lint, test, race, fuzz)
 check:
@@ -90,6 +90,17 @@ report-smoke:
 	$(GO) run ./cmd/iawjjoin -workload Stock -scale 0.002 -atrest -algorithm SHJ_JM -windowms 50 -journal /tmp/iawj-report-smoke.jsonl >/dev/null
 	$(GO) run ./cmd/iawjreport -self /tmp/iawj-report-smoke.jsonl
 	rm -f /tmp/iawj-report-smoke.jsonl
+
+## load-smoke: validate every checked-in workload spec, then a short
+## open-loop run of the mixed spec with per-class journal records
+load-smoke:
+	for spec in examples/specs/*.json; do \
+		$(GO) run ./cmd/iawjload -spec $$spec -validate >/dev/null || exit 1; \
+	done
+	rm -f /tmp/iawj-load-smoke.jsonl
+	$(GO) run ./cmd/iawjload -spec examples/specs/mixed.json -nspms 1000000 -algorithm SHJ_JM -journal /tmp/iawj-load-smoke.jsonl >/dev/null
+	$(GO) run ./cmd/iawjreport -self /tmp/iawj-load-smoke.jsonl
+	rm -f /tmp/iawj-load-smoke.jsonl
 
 ## fmt: apply gofmt to the tree
 fmt:

@@ -1,0 +1,202 @@
+package ingest
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/tuple"
+)
+
+// loadPlan builds n events, one per simulated millisecond, alternating
+// R/S and two SLO classes.
+func loadPlan(n int) []OpenEvent {
+	events := make([]OpenEvent, n)
+	for i := range events {
+		ev := OpenEvent{DueMs: int64(i), Class: uint8(i % 2), Tuple: tuple.Tuple{TS: int64(i), Key: int32(i % 16), Payload: int32(i)}}
+		if i%2 == 0 {
+			ev.Stream = TagR
+		} else {
+			ev.Stream = TagS
+		}
+		events[i] = ev
+	}
+	return events
+}
+
+// TestOpenLoopConsumerIndependent is the open-loop guarantee: a consumer
+// much slower than the arrival rate must not slow the offered schedule.
+// The closed-loop foil on the same plan and the same slow sink stretches
+// its offered schedule to the consumer's pace.
+func TestOpenLoopConsumerIndependent(t *testing.T) {
+	const (
+		n       = 200
+		nsPerMs = 1e5 // 0.1 real ms per simulated ms: plan spans 20 real ms
+	)
+	events := loadPlan(n)
+	spanNs := int64(n * nsPerMs)
+	slow := func(OpenEvent) { time.Sleep(300 * time.Microsecond) } // 60 real ms of consumer work
+
+	open, err := OpenLoop(events, nsPerMs, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if open.Closed {
+		t.Fatal("OpenLoop result flagged closed")
+	}
+	// The producer must have finished offering near the plan span even
+	// though the consumer needed 3x longer; 2x covers scheduler jitter.
+	if last := open.OfferedNs[n-1]; last > 2*spanNs {
+		t.Errorf("open-loop offered schedule stretched to %d ns for a %d ns plan — the producer gated on the consumer", last, spanNs)
+	}
+	// The slowdown must surface as lateness on the tail of the plan.
+	if late := open.LatenessMs(events, n-1); late < 100 {
+		t.Errorf("final event lateness %d sim-ms; a 3x-overloaded consumer should be hundreds of ms late", late)
+	}
+
+	closed, err := ClosedLoop(events, nsPerMs, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !closed.Closed {
+		t.Fatal("ClosedLoop result not flagged closed")
+	}
+	// The closed loop offers the next event only after the sink returns,
+	// so its offered schedule stretches toward the 60 ms of consumer work.
+	if last := closed.OfferedNs[n-1]; last < 2*spanNs {
+		t.Errorf("closed-loop offered schedule finished at %d ns — a slow sink should have stretched it past %d ns", last, 2*spanNs)
+	}
+}
+
+// TestCoordinatedOmissionGap quantifies why the closed loop lies: the
+// latency a closed-loop harness can measure (pickup minus its own offered
+// instant) is identically zero no matter how overloaded the consumer is,
+// while the open loop's deadline-anchored lateness exposes the queueing
+// delay. The p99 gap between the two on the same plan and sink is the
+// coordinated-omission gap.
+func TestCoordinatedOmissionGap(t *testing.T) {
+	const (
+		n       = 200
+		nsPerMs = 1e5
+	)
+	events := loadPlan(n)
+	slow := func(OpenEvent) { time.Sleep(300 * time.Microsecond) }
+
+	open, err := OpenLoop(events, nsPerMs, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed, err := ClosedLoop(events, nsPerMs, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// What each harness observes per event: time between offering the
+	// event and the consumer accepting it.
+	var openHist, closedHist metrics.Histogram
+	for i := range events {
+		openHist.Record(int64(float64(open.PickupNs[i]-open.OfferedNs[i])/nsPerMs), 1)
+		closedHist.Record(int64(float64(closed.PickupNs[i]-closed.OfferedNs[i])/nsPerMs), 1)
+	}
+	openP99, closedP99 := openHist.Quantile(0.99), closedHist.Quantile(0.99)
+	if closedP99 != 0 {
+		t.Errorf("closed-loop observed p99 is %d sim-ms; offered==pickup makes it zero by construction", closedP99)
+	}
+	if openP99 < 100 {
+		t.Errorf("open-loop observed p99 is %d sim-ms; a 3x-overloaded consumer should queue for hundreds of sim-ms", openP99)
+	}
+	if openP99 <= 10*(closedP99+1) {
+		t.Errorf("coordinated-omission gap too small: open p99 %d vs closed p99 %d", openP99, closedP99)
+	}
+}
+
+// TestOpenLoopRejectsUnordered: the plan contract is non-decreasing
+// deadlines; both drivers must refuse a shuffled plan.
+func TestOpenLoopRejectsUnordered(t *testing.T) {
+	events := loadPlan(4)
+	events[1], events[2] = events[2], events[1]
+	if _, err := OpenLoop(events, 1e5, nil); err == nil {
+		t.Error("OpenLoop accepted an unordered plan")
+	}
+	if _, err := ClosedLoop(events, 1e5, nil); err == nil {
+		t.Error("ClosedLoop accepted an unordered plan")
+	}
+}
+
+// TestOpenLoopEmptyPlan: an empty plan completes without hanging.
+func TestOpenLoopEmptyPlan(t *testing.T) {
+	res, err := OpenLoop(nil, 1e5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.OfferedNs) != 0 || len(res.PickupNs) != 0 {
+		t.Fatal("empty plan produced stamps")
+	}
+}
+
+// TestClassReports checks the per-class aggregation against a fabricated
+// result with known lateness per class.
+func TestClassReports(t *testing.T) {
+	const nsPerMs = 1000.0
+	events := []OpenEvent{
+		{DueMs: 0, Stream: TagR, Class: 0},
+		{DueMs: 10, Stream: TagS, Class: 1},
+		{DueMs: 20, Stream: TagR, Class: 0},
+		{DueMs: 30, Stream: TagS, Class: 1},
+	}
+	res := LoadResult{
+		NsPerMs: nsPerMs,
+		// class 0 events picked up on time; class 1 events 5 and 7 sim-ms
+		// late respectively.
+		OfferedNs: []int64{0, 10000, 20000, 30000},
+		PickupNs:  []int64{0, 15000, 20000, 37000},
+	}
+	reps := ClassReports(events, res, []string{"gold", "bronze"}, 40)
+	if len(reps) != 2 {
+		t.Fatalf("got %d class reports, want 2", len(reps))
+	}
+	gold, bronze := reps[0], reps[1]
+	if gold.Class != "gold" || gold.Offered != 2 || gold.Delivered != 2 {
+		t.Errorf("gold report wrong: %+v", gold)
+	}
+	if gold.LatenessMaxMs != 0 {
+		t.Errorf("gold lateness max %d, want 0", gold.LatenessMaxMs)
+	}
+	if bronze.Offered != 2 || bronze.LatenessMaxMs != 7 {
+		t.Errorf("bronze report wrong: %+v", bronze)
+	}
+	if got := gold.OfferedRate; got != 0.05 {
+		t.Errorf("gold offered rate %v, want 0.05 (2 tuples over 40 sim-ms)", got)
+	}
+
+	r := ClassResult(bronze)
+	if r.Algorithm != "openloop/bronze" {
+		t.Errorf("class result algorithm %q", r.Algorithm)
+	}
+	if r.Inputs != 2 || r.LatencyMaxMs != 7 {
+		t.Errorf("class result fields wrong: %+v", r)
+	}
+}
+
+// TestCollectStreams: the split relations carry the offered timestamps in
+// order, one relation per stream tag.
+func TestCollectStreams(t *testing.T) {
+	events := loadPlan(10)
+	r, s := CollectStreams(events)
+	if len(r) != 5 || len(s) != 5 {
+		t.Fatalf("split %d/%d, want 5/5", len(r), len(s))
+	}
+	if !r.SortedByTS() || !s.SortedByTS() {
+		t.Fatal("split relations not time-ordered")
+	}
+	for i := range r {
+		if r[i].TS != int64(2*i) {
+			t.Fatalf("R[%d].TS = %d, want %d", i, r[i].TS, 2*i)
+		}
+	}
+	for i := range s {
+		if s[i].TS != int64(2*i+1) {
+			t.Fatalf("S[%d].TS = %d, want %d", i, s[i].TS, 2*i+1)
+		}
+	}
+}

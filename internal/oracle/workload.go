@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/gen"
 	"repro/internal/tuple"
+	"repro/internal/workloadspec"
 )
 
 // Conformance workload shapes. Each is small by design — the matrix
@@ -33,11 +34,17 @@ const (
 	// WBurst skews arrivals toward the window start (timestamp
 	// Zipf 1.5): eager workers drain a flood then starve.
 	WBurst = "burst"
+	// WSpecMicro routes through the workload-spec compiler
+	// (internal/workloadspec): a two-client mix — one constant-rate
+	// client with Zipf keys, one bursty gamma client with uniform keys —
+	// so the conformance matrix also certifies spec-compiled plans, not
+	// just the hand-rolled generators.
+	WSpecMicro = "specmicro"
 )
 
 // Workloads lists the conformance workload names in matrix order.
 func Workloads() []string {
-	return []string{WMicro, WSkew, WHighDup, WEmpty, WBoundary, WBurst}
+	return []string{WMicro, WSkew, WHighDup, WEmpty, WBoundary, WBurst, WSpecMicro}
 }
 
 // BuildWorkload materializes a named conformance workload from a seed.
@@ -65,8 +72,41 @@ func BuildWorkload(name string, seed uint64) (gen.Workload, error) {
 		return boundaryWorkload(seed), nil
 	case WBurst:
 		return gen.Micro(gen.MicroConfig{RateR: 12, RateS: 12, WindowMs: 40, Dupe: 4, TSSkew: 1.5, Seed: seed}), nil
+	case WSpecMicro:
+		return specMicroWorkload(seed)
 	}
 	return gen.Workload{}, fmt.Errorf("oracle: unknown workload %q (want one of %v)", name, Workloads())
+}
+
+// specMicroWorkload compiles the inline two-client spec at the given
+// seed. Compilation is deterministic (workloadspec's contract), which is
+// what lets a failing cell's seed string replay it.
+func specMicroWorkload(seed uint64) (gen.Workload, error) {
+	sp := &workloadspec.Spec{
+		Version:  workloadspec.SpecVersion,
+		Name:     WSpecMicro,
+		Seed:     seed,
+		WindowMs: 50,
+		RateR:    8,
+		RateS:    8,
+		Clients: []workloadspec.Client{
+			{
+				ID: "steady", RateFraction: 0.5, SLOClass: "gold",
+				Arrival: workloadspec.ArrivalSpec{Process: workloadspec.ProcConstant},
+				Keys:    workloadspec.KeySpec{Dist: workloadspec.KeysZipf, Domain: 64, Theta: 0.9},
+			},
+			{
+				ID: "bursty", RateFraction: 0.5, SLOClass: "bronze",
+				Arrival: workloadspec.ArrivalSpec{Process: workloadspec.ProcGamma, CV: 2},
+				Keys:    workloadspec.KeySpec{Dist: workloadspec.KeysUniform, Domain: 64},
+			},
+		},
+	}
+	c, err := workloadspec.Compile(sp, workloadspec.Options{})
+	if err != nil {
+		return gen.Workload{}, fmt.Errorf("oracle: specmicro: %w", err)
+	}
+	return c.Workload, nil
 }
 
 // boundaryWorkload builds the window-edge stress shape: a 16 ms window

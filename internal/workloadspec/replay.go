@@ -1,0 +1,134 @@
+package workloadspec
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// TraceProfile is a recorded arrival-rate shape extracted from the window
+// records of an iawj-journal/v2 journal: each window contributes one
+// segment weighted by its recorded input count. Replaying a profile
+// reproduces the recorded rate *shape* (spikes, lulls, silence) rescaled
+// onto the replaying client's own rate and duration — the recorded run may
+// have been minutes of production traffic; the replay squeezes the same
+// profile into the spec's window span.
+type TraceProfile struct {
+	segs  []traceSeg
+	total float64 // summed segment weights
+	span  float64 // recorded time span in ms
+	first int64   // recorded start of the earliest window
+}
+
+type traceSeg struct {
+	startMs, endMs int64
+	weight         float64
+}
+
+// ProfileOfJournal builds a replay profile from a parsed journal's window
+// records. Runs-only journals are rejected: a run record has no window
+// identity to anchor a time axis on.
+func ProfileOfJournal(j trace.Journal) (*TraceProfile, error) {
+	if len(j.Windows) == 0 {
+		return nil, fmt.Errorf("workloadspec: journal has no window records to replay")
+	}
+	p := &TraceProfile{}
+	for _, e := range j.Windows {
+		w := e.Window
+		if w.EndMs <= w.StartMs {
+			return nil, fmt.Errorf("workloadspec: window %d spans [%d, %d)", w.ID, w.StartMs, w.EndMs)
+		}
+		weight := float64(e.Inputs)
+		if weight <= 0 {
+			continue
+		}
+		p.segs = append(p.segs, traceSeg{startMs: w.StartMs, endMs: w.EndMs, weight: weight})
+		p.total += weight
+	}
+	if p.total == 0 {
+		return nil, fmt.Errorf("workloadspec: journal window records carry no inputs")
+	}
+	sort.Slice(p.segs, func(i, k int) bool {
+		if p.segs[i].startMs != p.segs[k].startMs {
+			return p.segs[i].startMs < p.segs[k].startMs
+		}
+		return p.segs[i].endMs < p.segs[k].endMs
+	})
+	p.first = p.segs[0].startMs
+	last := p.segs[0].endMs
+	for _, s := range p.segs {
+		if s.endMs > last {
+			last = s.endMs
+		}
+	}
+	p.span = float64(last - p.first)
+	return p, nil
+}
+
+// profileFromFile reads and parses a journal file into a profile.
+func profileFromFile(path string) (*TraceProfile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("workloadspec: trace journal: %w", err)
+	}
+	defer f.Close()
+	j, err := trace.ReadJournal(f)
+	if err != nil {
+		return nil, fmt.Errorf("workloadspec: trace journal %s: %w", path, err)
+	}
+	return ProfileOfJournal(j)
+}
+
+// times distributes n = rate × duration arrivals across the profile's
+// segments proportional to their recorded weights, uniformly spaced within
+// each segment, with the recorded span normalized onto [0, duration).
+// The schedule is fully deterministic: the same journal always replays to
+// the same arrival instants.
+func (p *TraceProfile) times(rate, duration float64) []float64 {
+	n := int(rate*duration + 0.5)
+	if n <= 0 || p == nil || p.total == 0 {
+		return nil
+	}
+	out := make([]float64, 0, n)
+	// Largest-remainder apportionment keeps the per-segment counts
+	// summing to exactly n while staying proportional to the weights.
+	counts := make([]int, len(p.segs))
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	rems := make([]rem, len(p.segs))
+	assigned := 0
+	for i, s := range p.segs {
+		exact := s.weight / p.total * float64(n)
+		counts[i] = int(exact)
+		assigned += counts[i]
+		rems[i] = rem{idx: i, frac: exact - float64(counts[i])}
+	}
+	sort.Slice(rems, func(i, k int) bool {
+		if rems[i].frac != rems[k].frac {
+			return rems[i].frac > rems[k].frac
+		}
+		return rems[i].idx < rems[k].idx
+	})
+	for i := 0; assigned < n; i++ {
+		counts[rems[i%len(rems)].idx]++
+		assigned++
+	}
+	scale := duration / p.span
+	for i, s := range p.segs {
+		c := counts[i]
+		if c == 0 {
+			continue
+		}
+		segStart := float64(s.startMs-p.first) * scale
+		segLen := float64(s.endMs-s.startMs) * scale
+		for k := 0; k < c; k++ {
+			out = append(out, segStart+(float64(k)+0.5)/float64(c)*segLen)
+		}
+	}
+	sort.Float64s(out)
+	return out
+}

@@ -31,6 +31,10 @@
 #                   window records to one journal; iawjreport -self on it
 #                   must parse the ledger and exit 0 (a journal is never a
 #                   regression against itself)
+#  13. load smoke   iawjload -validate on every checked-in spec under
+#                   examples/specs/, then a short open-loop run of the
+#                   mixed multi-client spec whose journal must carry the
+#                   per-class openloop/* run records (WORKLOADS.md)
 #
 # Any stage failing aborts the gate with a non-zero exit.
 set -euo pipefail
@@ -121,5 +125,20 @@ if [ "$window_lines" -lt 2 ]; then
 fi
 go run ./cmd/iawjreport -self "$ledger" >/dev/null
 echo "ok (ledger: $window_lines window records, self-compare clean)"
+
+step "load smoke (iawjload -validate + open-loop run)"
+for spec in examples/specs/*.json; do
+    go run ./cmd/iawjload -spec "$spec" -validate >/dev/null
+done
+loadledger="$tracedir/load.jsonl"
+go run ./cmd/iawjload -spec examples/specs/mixed.json -nspms 1000000 \
+    -algorithm SHJ_JM -journal "$loadledger" >/dev/null
+class_lines="$(grep -c '"algorithm":"openloop/' "$loadledger")"
+if [ "$class_lines" -lt 2 ]; then
+    echo "load smoke: expected per-class openloop run records, got $class_lines" >&2
+    exit 1
+fi
+go run ./cmd/iawjreport -self "$loadledger" >/dev/null
+echo "ok ($(ls examples/specs/*.json | wc -l) specs validated, $class_lines class records, self-compare clean)"
 
 printf '\ncheck: all stages passed\n'
