@@ -6,7 +6,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: check build test lint lint-json lint-sarif lint-race escapegate race trace-smoke bench bench-kernels bench-smoke bench-gate fuzz-smoke conform conform-full report-smoke load-smoke fmt
+.PHONY: check build test lint lint-json lint-sarif lint-race escapegate bcegate inlinegate lint-gates race trace-smoke bench bench-kernels bench-smoke bench-gate fuzz-smoke conform conform-full report-smoke load-smoke fmt
 
 ## check: run the full CI gate (fmt, vet, build, lint, test, race, fuzz)
 check:
@@ -40,6 +40,18 @@ lint-race:
 ## escapegate: only the escape-analysis stage of the lint gate
 escapegate:
 	$(GO) run ./cmd/iawjlint -rules escapegate ./...
+
+## bcegate: only the bounds-check-elimination gate (-d=ssa/check_bce verdicts)
+bcegate:
+	$(GO) run ./cmd/iawjlint -rules bcegate ./...
+
+## inlinegate: only the //iawj:inline budget gate (-m=2 inliner verdicts)
+inlinegate:
+	$(GO) run ./cmd/iawjlint -rules inlinegate ./...
+
+## lint-gates: all three build-diagnostics gates off one shared -gcflags build
+lint-gates:
+	$(GO) run ./cmd/iawjlint -rules escapegate,bcegate,inlinegate ./...
 
 ## race: full test suite under the race detector
 race:

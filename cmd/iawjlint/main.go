@@ -16,22 +16,30 @@
 //	-rules r1,r2       run only the named rules
 //	-tests             also lint _test.go files
 //	-list              print the available rules and exit
+//	-explain RULE      print the rule's contract (what it proves, why, and
+//	                   the sanctioned escape hatches) and exit
 //	-json              emit findings as JSON (schema version 1)
 //	-sarif             emit findings as SARIF 2.1.0
 //	-baseline FILE     suppress findings recorded in FILE
-//	-update-baseline   rewrite FILE with the current findings and exit 0
+//	-update-baseline   merge the current findings into FILE and exit 0
 //
 // Beyond the per-package analyzers, the driver runs the whole-program
-// analyzers (lockorder, falseshare, guardinfer, atomicmix, goescape) over
-// every resolved package at once, and the escapegate build stage
-// (`go build -gcflags=-m=2`) over the module, anchoring compiler escape
-// diagnostics to //iawj:hotpath spans.
+// analyzers (lockorder, falseshare, guardinfer, atomicmix, goescape,
+// maporder) over every resolved package at once, and the build-diagnostics
+// gates (escapegate, bcegate, inlinegate) over the module: one shared
+// `go build -gcflags="-m=2 -d=ssa/check_bce/debug=1"` run feeds all three,
+// anchoring compiler escape, bounds-check, and inliner verdicts to
+// //iawj:hotpath and //iawj:inline spans.
 //
 // Escape hatches: a `//lint:allow <rule> <reason>` comment on (or directly
 // above) the offending line, or the per-rule path allowlist baked into
 // internal/lint for sanctioned packages such as internal/clock. A baseline
 // file is for staged adoption of new rules on large trees only — this
-// repo's gate runs without one. See LINTING.md for the rule catalogue.
+// repo's gate runs without one. -update-baseline merges: keys already in
+// FILE survive even when the finding is currently absent (flaky or
+// configuration-dependent findings stay suppressed), except that keys
+// naming files which no longer exist are pruned. See LINTING.md for the
+// rule catalogue.
 package main
 
 import (
@@ -60,10 +68,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	rules := fs.String("rules", "", "comma-separated rule names to run (default: all)")
 	tests := fs.Bool("tests", false, "also lint _test.go files")
 	list := fs.Bool("list", false, "print the available rules and exit")
+	explain := fs.String("explain", "", "print the named rule's contract and exit")
 	jsonOut := fs.Bool("json", false, "emit findings as JSON")
 	sarifOut := fs.Bool("sarif", false, "emit findings as SARIF 2.1.0")
 	baseline := fs.String("baseline", "", "baseline file of accepted findings to suppress")
-	updateBaseline := fs.Bool("update-baseline", false, "rewrite the -baseline file with the current findings and exit 0")
+	updateBaseline := fs.Bool("update-baseline", false, "merge the current findings into the -baseline file and exit 0")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -71,6 +80,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, r := range lint.Catalogue() {
 			fmt.Fprintf(stdout, "%-16s %s\n", r.Name, r.Doc)
 		}
+		return 0
+	}
+	if *explain != "" {
+		text, ok := lint.Explain(*explain)
+		if !ok {
+			fmt.Fprintf(stderr, "iawjlint: unknown rule %q; available rules: %s\n",
+				*explain, strings.Join(lint.RuleNames(), ", "))
+			return 2
+		}
+		fmt.Fprintln(stdout, text)
 		return 0
 	}
 	if *jsonOut && *sarifOut {
@@ -124,13 +143,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 		pr := &lint.Runner{ProgramAnalyzers: sel.prog}
 		findings = append(findings, pr.CheckProgram(prog)...)
 	}
-	if sel.escape {
-		fs, err := (lint.EscapeGate{}).Check(root, prog, nil)
-		if err != nil {
-			fmt.Fprintf(stderr, "iawjlint: %v\n", err)
-			return 2
+	if sel.escape || sel.bce || sel.inline {
+		// One -gcflags diagnostics build serves all three gates.
+		diag := lint.NewBuildDiag(root, "")
+		type gate interface {
+			CheckDiag(*lint.BuildDiag, *lint.Program, map[string][]string) ([]lint.Finding, error)
 		}
-		findings = append(findings, fs...)
+		var gates []gate
+		if sel.escape {
+			gates = append(gates, lint.EscapeGate{})
+		}
+		if sel.bce {
+			gates = append(gates, lint.BCEGate{})
+		}
+		if sel.inline {
+			gates = append(gates, lint.InlineGate{})
+		}
+		for _, g := range gates {
+			fs, err := g.CheckDiag(diag, prog, nil)
+			if err != nil {
+				fmt.Fprintf(stderr, "iawjlint: %v\n", err)
+				return 2
+			}
+			findings = append(findings, fs...)
+		}
 	}
 	lint.SortFindings(findings)
 
@@ -176,12 +212,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 // selection is the resolved -rules flag: which per-package analyzers,
-// which whole-program analyzers, and whether the escapegate build stage
-// runs.
+// which whole-program analyzers, and which of the build-diagnostics gates
+// run.
 type selection struct {
 	pkg    []lint.Analyzer
 	prog   []lint.ProgramAnalyzer
 	escape bool
+	bce    bool
+	inline bool
 }
 
 // selectRules filters the full catalogue by the -rules flag. An unknown
@@ -189,7 +227,7 @@ type selection struct {
 // have to run -list separately.
 func selectRules(rules string) (selection, error) {
 	if rules == "" {
-		return selection{pkg: lint.All(), prog: lint.AllProgram(), escape: true}, nil
+		return selection{pkg: lint.All(), prog: lint.AllProgram(), escape: true, bce: true, inline: true}, nil
 	}
 	byName := map[string]lint.Analyzer{}
 	for _, a := range lint.All() {
@@ -214,6 +252,10 @@ func selectRules(rules string) (selection, error) {
 			sel.prog = append(sel.prog, progByName[name])
 		case name == (lint.EscapeGate{}).Name():
 			sel.escape = true
+		case name == (lint.BCEGate{}).Name():
+			sel.bce = true
+		case name == (lint.InlineGate{}).Name():
+			sel.inline = true
 		default:
 			return selection{}, fmt.Errorf("unknown rule %q; available rules: %s",
 				name, strings.Join(lint.RuleNames(), ", "))
@@ -371,16 +413,32 @@ func readBaseline(path string) (map[string]bool, error) {
 	return keys, sc.Err()
 }
 
-// writeBaseline records the current findings' keys, sorted and deduped.
+// writeBaseline merges the current findings' keys into the baseline at
+// path: existing keys survive even when the finding is currently absent
+// (so a baseline accumulated across configurations keeps suppressing
+// findings that only fire under some of them) — except keys whose file no
+// longer exists under root, which are pruned as dead weight. The result is
+// written sorted and deduped.
 func writeBaseline(path, root string, findings []lint.Finding) error {
 	seen := map[string]bool{}
-	var keys []string
-	for _, f := range findings {
-		k := baselineKey(root, f)
-		if !seen[k] {
+	if existing, err := readBaseline(path); err == nil {
+		for k := range existing {
 			seen[k] = true
-			keys = append(keys, k)
 		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	for _, f := range findings {
+		seen[baselineKey(root, f)] = true
+	}
+	var keys []string
+	for k := range seen {
+		if file := baselineKeyFile(k); file != "" {
+			if _, err := os.Stat(filepath.Join(root, filepath.FromSlash(file))); err != nil {
+				continue // the file is gone; its accepted findings are too
+			}
+		}
+		keys = append(keys, k)
 	}
 	sort.Strings(keys)
 	var b strings.Builder
@@ -389,6 +447,16 @@ func writeBaseline(path, root string, findings []lint.Finding) error {
 		b.WriteString(k + "\n")
 	}
 	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// baselineKeyFile extracts the module-relative file component of a
+// baseline key, or "" for malformed lines (kept as-is rather than judged).
+func baselineKeyFile(key string) string {
+	parts := strings.SplitN(key, "\t", 3)
+	if len(parts) != 3 {
+		return ""
+	}
+	return parts[1]
 }
 
 // resolve expands patterns into package directories.

@@ -46,7 +46,7 @@ func TestGolden(t *testing.T) {
 // package (internal/lint's TestEscapeGateFixture builds escfixture with
 // -m=2); `go build ./...` never compiles testdata.
 func TestEachRuleTripsNonZero(t *testing.T) {
-	for _, rule := range []string{"determinism", "lockdiscipline", "goroutineleak", "hotpathalloc", "panicpolicy", "tracering", "lockorder", "falseshare", "guardinfer", "atomicmix", "goescape"} {
+	for _, rule := range []string{"determinism", "lockdiscipline", "goroutineleak", "hotpathalloc", "panicpolicy", "tracering", "lockorder", "falseshare", "guardinfer", "atomicmix", "goescape", "maporder"} {
 		t.Run(rule, func(t *testing.T) {
 			var out, errs bytes.Buffer
 			code := run([]string{"-rules", rule, fixture}, &out, &errs)
@@ -79,7 +79,7 @@ func TestUnknownRule(t *testing.T) {
 	if !strings.Contains(errs.String(), "unknown rule") {
 		t.Errorf("stderr = %q, want unknown-rule error", errs.String())
 	}
-	for _, rule := range []string{"determinism", "hotpathalloc", "lockorder", "falseshare", "guardinfer", "atomicmix", "goescape", "escapegate"} {
+	for _, rule := range []string{"determinism", "hotpathalloc", "lockorder", "falseshare", "guardinfer", "atomicmix", "goescape", "maporder", "escapegate", "bcegate", "inlinegate"} {
 		if !strings.Contains(errs.String(), rule) {
 			t.Errorf("unknown-rule error does not list %s: %q", rule, errs.String())
 		}
@@ -92,10 +92,53 @@ func TestListRules(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errs); code != 0 {
 		t.Fatalf("exit code = %d, want 0", code)
 	}
-	for _, rule := range []string{"determinism", "lockdiscipline", "goroutineleak", "hotpathalloc", "panicpolicy", "tracering", "lockorder", "falseshare", "guardinfer", "atomicmix", "goescape", "escapegate"} {
+	for _, rule := range []string{"determinism", "lockdiscipline", "goroutineleak", "hotpathalloc", "panicpolicy", "tracering", "lockorder", "falseshare", "guardinfer", "atomicmix", "goescape", "maporder", "escapegate", "bcegate", "inlinegate"} {
 		if !strings.Contains(out.String(), rule) {
 			t.Errorf("-list output missing %s:\n%s", rule, out.String())
 		}
+	}
+}
+
+// TestExplain pins the -explain surface: a known rule prints its contract
+// (golden, reviewed like any diagnostic text) and exits 0; an unknown rule
+// is a usage error that names the catalogue, like -rules.
+func TestExplain(t *testing.T) {
+	var out, errs bytes.Buffer
+	if code := run([]string{"-explain", "maporder"}, &out, &errs); code != 0 {
+		t.Fatalf("exit code = %d, want 0 (stderr: %s)", code, errs.String())
+	}
+	if *update {
+		if err := os.WriteFile("testdata/explain_maporder.txt", out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		golden, err := os.ReadFile("testdata/explain_maporder.txt")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.String() != string(golden) {
+			t.Errorf("-explain output differs from golden (re-run with -update after reviewing):\n--- got ---\n%s--- want ---\n%s", out.String(), golden)
+		}
+	}
+	// Every catalogued rule must explain itself — a rule without a
+	// contract paragraph is a rule reviewers cannot apply allows against.
+	for _, rule := range []string{"bcegate", "inlinegate", "escapegate", "hotpathalloc"} {
+		out.Reset()
+		errs.Reset()
+		if code := run([]string{"-explain", rule}, &out, &errs); code != 0 {
+			t.Errorf("-explain %s exit = %d, want 0", rule, code)
+		}
+		if !strings.Contains(out.String(), rule+":") || len(out.String()) < 100 {
+			t.Errorf("-explain %s output lacks the contract paragraph:\n%s", rule, out.String())
+		}
+	}
+	out.Reset()
+	errs.Reset()
+	if code := run([]string{"-explain", "nosuchrule"}, &out, &errs); code != 2 {
+		t.Errorf("-explain nosuchrule exit = %d, want 2", code)
+	}
+	if !strings.Contains(errs.String(), "unknown rule") || !strings.Contains(errs.String(), "bcegate") {
+		t.Errorf("unknown-rule error must name the catalogue, got %q", errs.String())
 	}
 }
 
@@ -193,8 +236,8 @@ func TestSARIF(t *testing.T) {
 		t.Fatalf("version=%q runs=%d, want 2.1.0 with one run", doc.Version, len(doc.Runs))
 	}
 	run0 := doc.Runs[0]
-	if run0.Tool.Driver.Name != "iawjlint" || len(run0.Tool.Driver.Rules) != 12 {
-		t.Errorf("driver %q with %d rules, want iawjlint with the 12-rule catalogue", run0.Tool.Driver.Name, len(run0.Tool.Driver.Rules))
+	if run0.Tool.Driver.Name != "iawjlint" || len(run0.Tool.Driver.Rules) != 15 {
+		t.Errorf("driver %q with %d rules, want iawjlint with the 15-rule catalogue", run0.Tool.Driver.Name, len(run0.Tool.Driver.Rules))
 	}
 	ruleIDs := map[string]bool{}
 	for _, r := range run0.Tool.Driver.Rules {
@@ -203,7 +246,7 @@ func TestSARIF(t *testing.T) {
 		}
 		ruleIDs[r.ID] = true
 	}
-	for _, rule := range []string{"guardinfer", "atomicmix", "goescape"} {
+	for _, rule := range []string{"guardinfer", "atomicmix", "goescape", "maporder", "bcegate", "inlinegate"} {
 		if !ruleIDs[rule] {
 			t.Errorf("driver rules missing %s", rule)
 		}
@@ -303,6 +346,57 @@ func TestBaselineRoundTrip(t *testing.T) {
 	errs.Reset()
 	if code := run([]string{"-baseline", base, fixture}, &out, &errs); code != 1 {
 		t.Errorf("near-empty baseline exit = %d, want 1", code)
+	}
+}
+
+// TestUpdateBaselineMergesAndPrunes pins the -update-baseline semantics:
+// keys already in the file survive the rewrite even when the finding is
+// currently absent (merge, not overwrite — a baseline accumulated across
+// configurations keeps suppressing findings that only fire under some),
+// while keys naming files that no longer exist are pruned.
+func TestUpdateBaselineMergesAndPrunes(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "baseline.txt")
+	// Seed the baseline with one key for a real file whose finding is not
+	// in the current run, and one key for a file that does not exist.
+	surviving := "notarule\tinternal/lint/lint.go\tmanually accepted finding that no current run produces"
+	pruned := "notarule\tinternal/gone/deleted.go\tfinding in a deleted file"
+	if err := os.WriteFile(base, []byte("# seeded\n"+surviving+"\n"+pruned+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errs bytes.Buffer
+	if code := run([]string{"-baseline", base, "-update-baseline", fixture}, &out, &errs); code != 0 {
+		t.Fatalf("update-baseline exit = %d, want 0 (stderr: %s)", code, errs.String())
+	}
+	raw, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(raw)
+	if !strings.Contains(got, surviving) {
+		t.Errorf("merge dropped a pre-existing key for a live file:\n%s", got)
+	}
+	if strings.Contains(got, pruned) {
+		t.Errorf("rewrite kept a key for a deleted file:\n%s", got)
+	}
+	if !strings.Contains(got, "hotpathalloc\t") {
+		t.Errorf("rewrite did not record the current fixture findings:\n%s", got)
+	}
+	// Round trip: the merged baseline still suppresses the fixture.
+	out.Reset()
+	errs.Reset()
+	if code := run([]string{"-baseline", base, fixture}, &out, &errs); code != 0 {
+		t.Errorf("merged baseline run exit = %d, want 0\nstdout: %s", code, out.String())
+	}
+	// A second update must be idempotent modulo the prune: same keys.
+	if code := run([]string{"-baseline", base, "-update-baseline", fixture}, &out, &errs); code != 0 {
+		t.Fatalf("second update-baseline exit = %d, want 0", code)
+	}
+	raw2, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw2) != got {
+		t.Errorf("second -update-baseline was not idempotent:\n--- first ---\n%s--- second ---\n%s", got, raw2)
 	}
 }
 

@@ -206,6 +206,8 @@ func (ctx *ExecContext) WaitWindow(tid int) {
 
 // Chunk returns the [lo, hi) bounds of thread tid's equisized portion of n
 // items, the workload division used by the lazy algorithms.
+//
+//iawj:inline
 func Chunk(n, threads, tid int) (lo, hi int) {
 	lo = tid * n / threads
 	hi = (tid + 1) * n / threads

@@ -158,17 +158,23 @@ func (c *cursor) done() bool { return c.idx >= len(c.rel) }
 //iawj:hotpath
 func (c *cursor) batch(buf []tuple.Tuple, max int, nowMs int64, atRest bool, owns func(i int, t tuple.Tuple) bool, physical bool) ([]tuple.Tuple, bool) {
 	taken := 0
-	for c.idx < len(c.rel) && taken < max {
-		t := c.rel[c.idx]
+	// The cursor fields are staged into locals for the scan: indexing
+	// through c.idx keeps a bounds check per tuple because the prover
+	// must assume the owns callback mutates the cursor (LINTING.md §BCE).
+	rel := c.rel
+	i := c.idx
+	for i >= 0 && i < len(rel) && taken < max {
+		t := rel[i]
 		if !atRest && t.TS > nowMs {
+			c.idx = i
 			return buf, true
 		}
 		if c.tracer != nil {
-			c.tracer.Access(c.base + uint64(c.idx)*16)
+			c.tracer.Access(c.base + uint64(i)*16)
 			c.tracer.Op(2)
 		}
 		//lint:allow hotpathalloc the ownership predicate is the partitioning-strategy hook, per-tuple by design
-		if owns(c.idx, t) {
+		if owns(i, t) {
 			if physical {
 				// Pass by value: the copy below is the physical
 				// partitioning cost of Figure 17. (Pointer passing
@@ -180,8 +186,9 @@ func (c *cursor) batch(buf []tuple.Tuple, max int, nowMs int64, atRest bool, own
 			}
 			taken++
 		}
-		c.idx++
+		i++
 	}
+	c.idx = i
 	return buf, false
 }
 

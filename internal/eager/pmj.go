@@ -135,9 +135,12 @@ func (a PMJ) Run(ctx *core.ExecContext) error {
 
 		var runs []run
 		defer func() {
-			for i := range runs {
-				if runs[i].path != "" {
-					os.Remove(runs[i].path)
+			// Shadow the captured slice: indexing the closure variable
+			// directly re-checks bounds per run (LINTING.md §BCE).
+			rs := runs
+			for i := range rs {
+				if rs[i].path != "" {
+					os.Remove(rs[i].path)
 				}
 			}
 		}()
@@ -218,17 +221,20 @@ func (a PMJ) Run(ctx *core.ExecContext) error {
 		// paying the original PMJ's disk revisit cost.
 		pt.time(metrics.PhaseMerge, func() {
 			sink.Refresh()
-			for i := range runs {
-				ri, _, err := runs[i].load()
+			// Shadow the captured slice: indexing the closure variable
+			// directly re-checks bounds per run (LINTING.md §BCE).
+			rs := runs
+			for i := range rs {
+				ri, _, err := rs[i].load()
 				if err != nil {
 					fail(fmt.Errorf("eager: pmj reload: %w", err)) //lint:allow hotpathalloc error path, not per-tuple
 					return
 				}
-				for j := range runs {
+				for j := range rs {
 					if i == j {
 						continue
 					}
-					_, sj, err := runs[j].load()
+					_, sj, err := rs[j].load()
 					if err != nil {
 						fail(fmt.Errorf("eager: pmj reload: %w", err)) //lint:allow hotpathalloc error path, not per-tuple
 						return

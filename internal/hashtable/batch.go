@@ -62,6 +62,7 @@ func (t *Table) InsertBatch(xs []tuple.Tuple) {
 //
 //iawj:hotpath
 func (t *Table) InsertBatchHashed(xs []tuple.Tuple, hashes []uint32) {
+	hashes = hashes[:len(xs)] // hoisted proof: hashes aligns with xs (bcegate)
 	if t.tracer != nil {
 		for i := range xs {
 			t.insertHashed(xs[i], hashes[i])
@@ -87,46 +88,101 @@ func (t *Table) InsertBatchHashed(xs []tuple.Tuple, hashes []uint32) {
 // — and therefore chain layout — is identical to the scalar loop. hashes
 // may be nil.
 //
+// The loop shape is dictated by bcegate (LINTING.md §BCE): the block
+// length n is the clamped prefetch distance and is never derived from
+// len(rest), so the if-break guard that opens each iteration survives to
+// the prove pass and makes the block advance (rest[n:]) check-free; full
+// blocks index rest[j] under j < n; the short remainder runs once after
+// the loop with indices bounded by len directly; the stage scratch is
+// masked (j & prefBlockMask, a no-op for j < n ≤ prefBlockMax); the
+// directory length is proven once against a hoisted local
+// (_ = buckets[mask]); and the insert slot is guarded by a compare
+// against bucketCap, which the spill invariant makes always-true.
+//
 //iawj:hotpath
 func (t *Table) insertPipelined(xs []tuple.Tuple, hashes []uint32) {
-	d := int(t.pref)
+	n := clampPref(int(t.pref))
+	if n < 1 {
+		// Unreachable: clampPref lower-bounds to 1. Restated because the
+		// prover loses the bound through the int32 conversion, and the
+		// block advance below needs n >= 0 (LINTING.md §BCE).
+		return
+	}
 	var heads [prefBlockMax]*bucket
 	var tick int32
-	for lo := 0; lo < len(xs); lo += d {
-		n := len(xs) - lo
-		if n > d {
-			n = d
+	buckets, shift, mask := t.buckets, t.shift, t.mask
+	_ = buckets[mask] // hoisted proof: the directory spans every masked index
+	rest := xs
+	hrest := hashes
+	for {
+		if len(rest) < n {
+			break // short remainder: handled below with len-bounded indices
 		}
-		blk := xs[lo : lo+n]
+		next := rest[n:]
 		// Stage 1: hash + early header loads. The tick accumulator keeps
 		// the b.n loads observable (they re-read in stage two, since an
 		// earlier insert in the block may hit the same bucket).
 		if hashes == nil {
 			for j := 0; j < n; j++ {
-				b := &t.buckets[(Hash(blk[j].Key)>>t.shift)&t.mask]
-				heads[j] = b
+				b := &buckets[(Hash(rest[j].Key)>>shift)&mask]
+				heads[j&prefBlockMask] = b
 				tick |= b.n
 			}
 		} else {
-			hblk := hashes[lo : lo+n]
+			if len(hrest) < n {
+				break // unreachable: callers align hashes with xs
+			}
+			hnext := hrest[n:]
 			for j := 0; j < n; j++ {
-				b := &t.buckets[(hblk[j]>>t.shift)&t.mask]
-				heads[j] = b
+				b := &buckets[(hrest[j]>>shift)&mask]
+				heads[j&prefBlockMask] = b
 				tick |= b.n
 			}
+			hrest = hnext
 		}
 		// Stage 2: insert, in input order. Spill empties the head bucket
 		// in place, so the staged head pointers stay valid.
 		for j := 0; j < n; j++ {
-			b := heads[j]
+			b := heads[j&prefBlockMask]
 			if b.n == 0 && b.next == nil {
 				t.dirty = append(t.dirty, b)
 			}
 			if b.n == bucketCap {
 				b = t.spill(b)
 			}
-			b.tuples[b.n] = blk[j]
-			b.n++
+			if bn := int(b.n); bn >= 0 && bn < bucketCap {
+				b.tuples[bn] = rest[j]
+				b.n = int32(bn + 1)
+			}
+		}
+		rest = next
+	}
+	// Remainder block (len(rest) < n): same two stages, len-bounded.
+	if hashes == nil {
+		for j := 0; j < len(rest); j++ {
+			b := &buckets[(Hash(rest[j].Key)>>shift)&mask]
+			heads[j&prefBlockMask] = b
+			tick |= b.n
+		}
+	} else if len(hrest) >= len(rest) {
+		hr := hrest[:len(rest)]
+		for j := 0; j < len(rest); j++ {
+			b := &buckets[(hr[j]>>shift)&mask]
+			heads[j&prefBlockMask] = b
+			tick |= b.n
+		}
+	}
+	for j := 0; j < len(rest); j++ {
+		b := heads[j&prefBlockMask]
+		if b.n == 0 && b.next == nil {
+			t.dirty = append(t.dirty, b)
+		}
+		if b.n == bucketCap {
+			b = t.spill(b)
+		}
+		if bn := int(b.n); bn >= 0 && bn < bucketCap {
+			b.tuples[bn] = rest[j]
+			b.n = int32(bn + 1)
 		}
 	}
 	t.size += int64(len(xs))
@@ -149,6 +205,16 @@ func (t *Table) insertPipelined(xs []tuple.Tuple, hashes []uint32) {
 // per-table insertion order (and chain layout) matches the unfused
 // PartitionHashed + InsertBatchHashed pipeline tuple for tuple.
 //
+// bcegate contract: every tuple selects its Table — and therefore its
+// bucket directory — at runtime from tabs[h&mask], so the masked
+// directory index cannot be proven against a length hoisted outside the
+// loop the way the single-table kernels prove theirs. The per-table
+// invariant len(t.buckets) == t.mask+1 is established at construction
+// (New/SetShift) and the scatter's correctness tests cover it; the
+// residual per-tuple checks are the price of fusion's cross-table
+// traffic, already charged in the BENCH_3 fused-vs-unfused numbers.
+//
+//lint:allow bcegate cross-table scatter: directory bound is selected per tuple, data-dependent by design
 //iawj:hotpath
 func ScatterBuild(tabs []*Table, mask uint32, xs []tuple.Tuple, hashes []uint32) {
 	d := clampPref(int(probePrefetch.Load()))
@@ -274,6 +340,7 @@ func (t *Table) ProbeBatch(probes []tuple.Tuple, dst []tuple.Tuple) ([]tuple.Tup
 //iawj:hotpath
 func (t *Table) ProbeBatchHashed(probes []tuple.Tuple, hashes []uint32, dst []tuple.Tuple) ([]tuple.Tuple, int) {
 	n0 := len(dst)
+	hashes = hashes[:len(probes)] // hoisted proof: hashes aligns with probes (bcegate)
 	if t.tracer != nil || t.pref <= 1 {
 		for i := range probes {
 			dst = t.probeHashed(probes[i], hashes[i], dst)
@@ -291,65 +358,138 @@ func (t *Table) ProbeBatchHashed(probes []tuple.Tuple, hashes []uint32, dst []tu
 // in probe order from the staged heads, through the monomorphic flat or
 // chain walk. hashes may be nil (keys are hashed in stage one).
 //
+// Loop shape per bcegate (LINTING.md §BCE): the block length n is the
+// clamped prefetch distance, never derived from len(rest), so the
+// if-break guard keeps every block advance check-free; the remainder
+// runs once after the loop with len-bounded indices; scratch indices are
+// masked; and the per-bucket count is clamped to bucketCap by an
+// int-typed compare so the tuple scan indexes a proven range — the clamp
+// never fires (b.n ≤ bucketCap is the bucket invariant), it only tells
+// the prover.
+//
 //iawj:hotpath
 func (t *Table) probePipelined(probes []tuple.Tuple, hashes []uint32, dst []tuple.Tuple) []tuple.Tuple {
-	d := int(t.pref)
+	n := clampPref(int(t.pref))
+	if n < 1 {
+		// Unreachable: clampPref lower-bounds to 1. Restated because the
+		// prover loses the bound through the int32 conversion, and the
+		// block advance below needs n >= 0 (LINTING.md §BCE).
+		return dst
+	}
 	var heads [prefBlockMax]*bucket
 	var counts [prefBlockMax]int32
 	var nexts [prefBlockMax]*bucket
 	flat := t.chained == 0
-	for lo := 0; lo < len(probes); lo += d {
-		n := len(probes) - lo
-		if n > d {
-			n = d
+	buckets, shift, mask := t.buckets, t.shift, t.mask
+	_ = buckets[mask] // hoisted proof: the directory spans every masked index
+	rest := probes
+	hrest := hashes
+	for {
+		if len(rest) < n {
+			break // short remainder: handled below with len-bounded indices
 		}
-		blk := probes[lo : lo+n]
+		next := rest[n:]
 		// Stage 1: hash + early bucket-head loads (the prefetch).
 		if hashes == nil {
 			for j := 0; j < n; j++ {
-				b := &t.buckets[(Hash(blk[j].Key)>>t.shift)&t.mask]
-				heads[j] = b
-				counts[j] = b.n
-				nexts[j] = b.next
+				b := &buckets[(Hash(rest[j].Key)>>shift)&mask]
+				k := j & prefBlockMask
+				heads[k] = b
+				counts[k] = b.n
+				nexts[k] = b.next
 			}
 		} else {
-			hblk := hashes[lo : lo+n]
-			for j := 0; j < n; j++ {
-				b := &t.buckets[(hblk[j]>>t.shift)&t.mask]
-				heads[j] = b
-				counts[j] = b.n
-				nexts[j] = b.next
+			if len(hrest) < n {
+				break // unreachable: callers align hashes with probes
 			}
+			hnext := hrest[n:]
+			for j := 0; j < n; j++ {
+				b := &buckets[(hrest[j]>>shift)&mask]
+				k := j & prefBlockMask
+				heads[k] = b
+				counts[k] = b.n
+				nexts[k] = b.next
+			}
+			hrest = hnext
 		}
 		// Stage 2: resolve, in probe order.
 		if flat {
 			for j := 0; j < n; j++ {
-				key := blk[j].Key
-				b := heads[j]
-				for i := int32(0); i < counts[j]; i++ {
+				key := rest[j].Key
+				b := heads[j&prefBlockMask]
+				bn := int(counts[j&prefBlockMask])
+				if bn > bucketCap {
+					bn = bucketCap
+				}
+				for i := 0; i < bn; i++ {
 					if b.tuples[i].Key == key {
-						dst = append(dst, b.tuples[i], blk[j])
+						dst = append(dst, b.tuples[i], rest[j])
 					}
 				}
 			}
 		} else {
 			for j := 0; j < n; j++ {
-				key := blk[j].Key
-				b, bn, nxt := heads[j], counts[j], nexts[j]
+				key := rest[j].Key
+				k := j & prefBlockMask
+				b, bn, nxt := heads[k], int(counts[k]), nexts[k]
 				for {
-					for i := int32(0); i < bn; i++ {
+					if bn > bucketCap {
+						bn = bucketCap
+					}
+					for i := 0; i < bn; i++ {
 						if b.tuples[i].Key == key {
-							dst = append(dst, b.tuples[i], blk[j])
+							dst = append(dst, b.tuples[i], rest[j])
 						}
 					}
 					if nxt == nil {
 						break
 					}
 					b = nxt
-					bn = b.n
+					bn = int(b.n)
 					nxt = b.next
 				}
 			}
+		}
+		rest = next
+	}
+	// Remainder block (len(rest) < n): same two stages, len-bounded.
+	if hashes == nil {
+		for j := 0; j < len(rest); j++ {
+			b := &buckets[(Hash(rest[j].Key)>>shift)&mask]
+			k := j & prefBlockMask
+			heads[k] = b
+			counts[k] = b.n
+			nexts[k] = b.next
+		}
+	} else if len(hrest) >= len(rest) {
+		hr := hrest[:len(rest)]
+		for j := 0; j < len(rest); j++ {
+			b := &buckets[(hr[j]>>shift)&mask]
+			k := j & prefBlockMask
+			heads[k] = b
+			counts[k] = b.n
+			nexts[k] = b.next
+		}
+	}
+	for j := 0; j < len(rest); j++ {
+		key := rest[j].Key
+		k := j & prefBlockMask
+		b, bn, nxt := heads[k], int(counts[k]), nexts[k]
+		for {
+			if bn > bucketCap {
+				bn = bucketCap
+			}
+			for i := 0; i < bn; i++ {
+				if b.tuples[i].Key == key {
+					dst = append(dst, b.tuples[i], rest[j])
+				}
+			}
+			if flat || nxt == nil {
+				break
+			}
+			b = nxt
+			bn = int(b.n)
+			nxt = b.next
 		}
 	}
 	return dst
@@ -362,12 +502,18 @@ func (t *Table) probePipelined(probes []tuple.Tuple, hashes []uint32, dst []tupl
 func (t *Table) ProbeBatchCount(probes []tuple.Tuple) int {
 	if t.tracer != nil || t.pref <= 1 {
 		matches := 0
+		buckets, shift, mask := t.buckets, t.shift, t.mask
+		_ = buckets[mask] // hoisted proof: the directory spans every masked index
 		for i := range probes {
 			key := probes[i].Key
-			idx := (Hash(key) >> t.shift) & t.mask
+			idx := (Hash(key) >> shift) & mask
 			t.traceChainWalk(idx)
-			for b := &t.buckets[idx]; b != nil; b = b.next {
-				for j := int32(0); j < b.n; j++ {
+			for b := &buckets[idx]; b != nil; b = b.next {
+				bn := int(b.n)
+				if bn > bucketCap {
+					bn = bucketCap
+				}
+				for j := 0; j < bn; j++ {
 					if b.tuples[j].Key == key {
 						matches++
 					}
@@ -384,14 +530,21 @@ func (t *Table) ProbeBatchCount(probes []tuple.Tuple) int {
 //
 //iawj:hotpath
 func (t *Table) ProbeBatchCountHashed(probes []tuple.Tuple, hashes []uint32) int {
+	hashes = hashes[:len(probes)] // hoisted proof: hashes aligns with probes (bcegate)
 	if t.tracer != nil || t.pref <= 1 {
 		matches := 0
+		buckets, shift, mask := t.buckets, t.shift, t.mask
+		_ = buckets[mask] // hoisted proof: the directory spans every masked index
 		for i := range probes {
 			key := probes[i].Key
-			idx := (hashes[i] >> t.shift) & t.mask
+			idx := (hashes[i] >> shift) & mask
 			t.traceChainWalk(idx)
-			for b := &t.buckets[idx]; b != nil; b = b.next {
-				for j := int32(0); j < b.n; j++ {
+			for b := &buckets[idx]; b != nil; b = b.next {
+				bn := int(b.n)
+				if bn > bucketCap {
+					bn = bucketCap
+				}
+				for j := 0; j < bn; j++ {
 					if b.tuples[j].Key == key {
 						matches++
 					}
@@ -403,43 +556,63 @@ func (t *Table) ProbeBatchCountHashed(probes []tuple.Tuple, hashes []uint32) int
 	return t.probeCountPipelined(probes, hashes)
 }
 
-// probeCountPipelined is probePipelined's count-only twin.
+// probeCountPipelined is probePipelined's count-only twin, same bcegate
+// loop shape.
 //
 //iawj:hotpath
 func (t *Table) probeCountPipelined(probes []tuple.Tuple, hashes []uint32) int {
-	d := int(t.pref)
+	n := clampPref(int(t.pref))
+	if n < 1 {
+		// Unreachable: clampPref lower-bounds to 1. Restated because the
+		// prover loses the bound through the int32 conversion, and the
+		// block advance below needs n >= 0 (LINTING.md §BCE).
+		return 0
+	}
 	var heads [prefBlockMax]*bucket
 	var counts [prefBlockMax]int32
 	var nexts [prefBlockMax]*bucket
 	flat := t.chained == 0
 	matches := 0
-	for lo := 0; lo < len(probes); lo += d {
-		n := len(probes) - lo
-		if n > d {
-			n = d
+	buckets, shift, mask := t.buckets, t.shift, t.mask
+	_ = buckets[mask] // hoisted proof: the directory spans every masked index
+	rest := probes
+	hrest := hashes
+	for {
+		if len(rest) < n {
+			break // short remainder: handled below with len-bounded indices
 		}
-		blk := probes[lo : lo+n]
+		next := rest[n:]
 		if hashes == nil {
 			for j := 0; j < n; j++ {
-				b := &t.buckets[(Hash(blk[j].Key)>>t.shift)&t.mask]
-				heads[j] = b
-				counts[j] = b.n
-				nexts[j] = b.next
+				b := &buckets[(Hash(rest[j].Key)>>shift)&mask]
+				k := j & prefBlockMask
+				heads[k] = b
+				counts[k] = b.n
+				nexts[k] = b.next
 			}
 		} else {
-			hblk := hashes[lo : lo+n]
-			for j := 0; j < n; j++ {
-				b := &t.buckets[(hblk[j]>>t.shift)&t.mask]
-				heads[j] = b
-				counts[j] = b.n
-				nexts[j] = b.next
+			if len(hrest) < n {
+				break // unreachable: callers align hashes with probes
 			}
+			hnext := hrest[n:]
+			for j := 0; j < n; j++ {
+				b := &buckets[(hrest[j]>>shift)&mask]
+				k := j & prefBlockMask
+				heads[k] = b
+				counts[k] = b.n
+				nexts[k] = b.next
+			}
+			hrest = hnext
 		}
 		if flat {
 			for j := 0; j < n; j++ {
-				key := blk[j].Key
-				b := heads[j]
-				for i := int32(0); i < counts[j]; i++ {
+				key := rest[j].Key
+				b := heads[j&prefBlockMask]
+				bn := int(counts[j&prefBlockMask])
+				if bn > bucketCap {
+					bn = bucketCap
+				}
+				for i := 0; i < bn; i++ {
 					if b.tuples[i].Key == key {
 						matches++
 					}
@@ -447,10 +620,14 @@ func (t *Table) probeCountPipelined(probes []tuple.Tuple, hashes []uint32) int {
 			}
 		} else {
 			for j := 0; j < n; j++ {
-				key := blk[j].Key
-				b, bn, nxt := heads[j], counts[j], nexts[j]
+				key := rest[j].Key
+				k := j & prefBlockMask
+				b, bn, nxt := heads[k], int(counts[k]), nexts[k]
 				for {
-					for i := int32(0); i < bn; i++ {
+					if bn > bucketCap {
+						bn = bucketCap
+					}
+					for i := 0; i < bn; i++ {
 						if b.tuples[i].Key == key {
 							matches++
 						}
@@ -459,10 +636,51 @@ func (t *Table) probeCountPipelined(probes []tuple.Tuple, hashes []uint32) int {
 						break
 					}
 					b = nxt
-					bn = b.n
+					bn = int(b.n)
 					nxt = b.next
 				}
 			}
+		}
+		rest = next
+	}
+	// Remainder block (len(rest) < n): same two stages, len-bounded.
+	if hashes == nil {
+		for j := 0; j < len(rest); j++ {
+			b := &buckets[(Hash(rest[j].Key)>>shift)&mask]
+			k := j & prefBlockMask
+			heads[k] = b
+			counts[k] = b.n
+			nexts[k] = b.next
+		}
+	} else if len(hrest) >= len(rest) {
+		hr := hrest[:len(rest)]
+		for j := 0; j < len(rest); j++ {
+			b := &buckets[(hr[j]>>shift)&mask]
+			k := j & prefBlockMask
+			heads[k] = b
+			counts[k] = b.n
+			nexts[k] = b.next
+		}
+	}
+	for j := 0; j < len(rest); j++ {
+		key := rest[j].Key
+		k := j & prefBlockMask
+		b, bn, nxt := heads[k], int(counts[k]), nexts[k]
+		for {
+			if bn > bucketCap {
+				bn = bucketCap
+			}
+			for i := 0; i < bn; i++ {
+				if b.tuples[i].Key == key {
+					matches++
+				}
+			}
+			if flat || nxt == nil {
+				break
+			}
+			b = nxt
+			bn = int(b.n)
+			nxt = b.next
 		}
 	}
 	return matches
@@ -524,17 +742,25 @@ func (t *Shared) InsertBatch(xs []tuple.Tuple) {
 //iawj:hotpath
 func (t *Shared) ProbeBatch(probes []tuple.Tuple, dst []tuple.Tuple) ([]tuple.Tuple, int) {
 	n0 := len(dst)
+	bks, mask := t.buckets, t.mask
+	// Hoisted proof: the directory spans every masked index (address-of
+	// only — indexing by value would copy the bucket latch).
+	_ = &bks[mask]
 	if t.tracer != nil || t.pref <= 1 {
 		for pi := range probes {
 			key := probes[pi].Key
-			idx := Hash(key) & t.mask
+			idx := Hash(key) & mask
 			hop := uint64(0)
-			for b := &t.buckets[idx].bucket; b != nil; b = b.next {
+			for b := &bks[idx].bucket; b != nil; b = b.next {
 				if t.tracer != nil {
 					t.tracer.Access(t.base + uint64(idx)*bucketBytes + hop*(1<<20))
 					t.tracer.Op(uint64(b.n) + 1)
 				}
-				for i := int32(0); i < b.n; i++ {
+				bn := int(b.n)
+				if bn > bucketCap {
+					bn = bucketCap
+				}
+				for i := 0; i < bn; i++ {
 					if b.tuples[i].Key == key {
 						dst = append(dst, b.tuples[i], probes[pi])
 					}
@@ -545,51 +771,96 @@ func (t *Shared) ProbeBatch(probes []tuple.Tuple, dst []tuple.Tuple) ([]tuple.Tu
 		return dst, (len(dst) - n0) / 2
 	}
 
-	d := int(t.pref)
+	n := clampPref(int(t.pref))
+	if n < 1 {
+		// Unreachable: clampPref lower-bounds to 1. Restated because the
+		// prover loses the bound through the int32 conversion, and the
+		// block advance below needs n >= 0 (LINTING.md §BCE).
+		return dst, 0
+	}
 	var heads [prefBlockMax]*bucket
 	var counts [prefBlockMax]int32
 	var nexts [prefBlockMax]*bucket
 	flat := t.chained.Load() == 0
-	for lo := 0; lo < len(probes); lo += d {
-		n := len(probes) - lo
-		if n > d {
-			n = d
+	rest := probes
+	for {
+		if len(rest) < n {
+			break // short remainder: handled below with len-bounded indices
 		}
-		blk := probes[lo : lo+n]
+		next := rest[n:]
 		for j := 0; j < n; j++ {
-			b := &t.buckets[Hash(blk[j].Key)&t.mask].bucket
-			heads[j] = b
-			counts[j] = b.n
-			nexts[j] = b.next
+			b := &bks[Hash(rest[j].Key)&mask].bucket
+			k := j & prefBlockMask
+			heads[k] = b
+			counts[k] = b.n
+			nexts[k] = b.next
 		}
 		if flat {
 			for j := 0; j < n; j++ {
-				key := blk[j].Key
-				b := heads[j]
-				for i := int32(0); i < counts[j]; i++ {
+				key := rest[j].Key
+				b := heads[j&prefBlockMask]
+				bn := int(counts[j&prefBlockMask])
+				if bn > bucketCap {
+					bn = bucketCap
+				}
+				for i := 0; i < bn; i++ {
 					if b.tuples[i].Key == key {
-						dst = append(dst, b.tuples[i], blk[j])
+						dst = append(dst, b.tuples[i], rest[j])
 					}
 				}
 			}
 		} else {
 			for j := 0; j < n; j++ {
-				key := blk[j].Key
-				b, bn, nxt := heads[j], counts[j], nexts[j]
+				key := rest[j].Key
+				k := j & prefBlockMask
+				b, bn, nxt := heads[k], int(counts[k]), nexts[k]
 				for {
-					for i := int32(0); i < bn; i++ {
+					if bn > bucketCap {
+						bn = bucketCap
+					}
+					for i := 0; i < bn; i++ {
 						if b.tuples[i].Key == key {
-							dst = append(dst, b.tuples[i], blk[j])
+							dst = append(dst, b.tuples[i], rest[j])
 						}
 					}
 					if nxt == nil {
 						break
 					}
 					b = nxt
-					bn = b.n
+					bn = int(b.n)
 					nxt = b.next
 				}
 			}
+		}
+		rest = next
+	}
+	// Remainder block (len(rest) < n): same two stages, len-bounded.
+	for j := 0; j < len(rest); j++ {
+		b := &bks[Hash(rest[j].Key)&mask].bucket
+		k := j & prefBlockMask
+		heads[k] = b
+		counts[k] = b.n
+		nexts[k] = b.next
+	}
+	for j := 0; j < len(rest); j++ {
+		key := rest[j].Key
+		k := j & prefBlockMask
+		b, bn, nxt := heads[k], int(counts[k]), nexts[k]
+		for {
+			if bn > bucketCap {
+				bn = bucketCap
+			}
+			for i := 0; i < bn; i++ {
+				if b.tuples[i].Key == key {
+					dst = append(dst, b.tuples[i], rest[j])
+				}
+			}
+			if flat || nxt == nil {
+				break
+			}
+			b = nxt
+			bn = int(b.n)
+			nxt = b.next
 		}
 	}
 	return dst, (len(dst) - n0) / 2
@@ -610,10 +881,15 @@ func (t *LockFree) InsertBatch(xs []tuple.Tuple) {
 //iawj:hotpath
 func (t *LockFree) ProbeBatch(probes []tuple.Tuple, dst []tuple.Tuple) ([]tuple.Tuple, int) {
 	n0 := len(dst)
+	//lint:allow atomicmix staging the directory slice header reads no slot; slot values stay behind their atomic Loads, and probes run on quiesced chains behind the build/probe barrier
+	heads, mask := t.heads, t.mask
+	// Hoisted proof: the directory spans every masked index (address-of
+	// only, LINTING.md §BCE).
+	_ = &heads[mask]
 	for pi := range probes {
 		key := probes[pi].Key
-		idx := Hash(key) & t.mask
-		for n := t.heads[idx].Load(); n != nil; n = n.next {
+		idx := Hash(key) & mask
+		for n := heads[idx].Load(); n != nil; n = n.next {
 			if n.t.Key == key {
 				dst = append(dst, n.t, probes[pi])
 			}

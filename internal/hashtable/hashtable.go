@@ -38,7 +38,11 @@ type bucket struct {
 }
 
 // Hash is the multiplicative hash shared by all hash-based algorithms so
-// partitioning and table placement agree.
+// partitioning and table placement agree. It runs once (or more) per tuple
+// in every hash kernel; a call that stopped inlining would put a function
+// call in each of them, so the contract is checked (LINTING.md §inlinegate).
+//
+//iawj:inline
 func Hash(key int32) uint32 {
 	x := uint32(key)
 	x ^= x >> 16
@@ -219,7 +223,14 @@ func (t *Table) Probe(key int32, emit func(tuple.Tuple)) int {
 	matches := 0
 	hop := uint64(0)
 	for b != nil {
-		for i := int32(0); i < b.n; i++ {
+		// int-typed count clamped to the array length: the emit call keeps
+		// the prover from caching b.n, so an int32 loop bound re-checks
+		// bounds per tuple (LINTING.md §BCE).
+		bn := int(b.n)
+		if bn > bucketCap {
+			bn = bucketCap
+		}
+		for i := 0; i < bn; i++ {
 			if b.tuples[i].Key == key {
 				matches++
 				if emit != nil {
@@ -400,7 +411,12 @@ func (t *Shared) Probe(key int32, emit func(tuple.Tuple)) int {
 			t.tracer.Access(t.base + uint64(idx)*bucketBytes + hop*(1<<20))
 			t.tracer.Op(uint64(bb.n) + 1)
 		}
-		for i := int32(0); i < bb.n; i++ {
+		// int-typed clamped count, as in Table.Probe (LINTING.md §BCE).
+		bn := int(bb.n)
+		if bn > bucketCap {
+			bn = bucketCap
+		}
+		for i := 0; i < bn; i++ {
 			if bb.tuples[i].Key == key {
 				matches++
 				if emit != nil {

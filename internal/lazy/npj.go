@@ -89,15 +89,23 @@ func (a NPJ) Run(ctx *core.ExecContext) error {
 		tw.AddTuples(int64(hi - lo))
 		chunk := ctx.S[lo:hi]
 		pairs := ctx.Pool.Tuples(2 * matchBatch)
-		for start := 0; start < len(chunk); start += matchBatch {
-			end := start + matchBatch
-			if end > len(chunk) {
-				end = len(chunk)
+		// Constant-length blocks with a short final block; the match walk
+		// advances a slice two tuples at a time. Both shapes are
+		// bounds-check free (LINTING.md §BCE) where the start/end cursor
+		// arithmetic and the stride-2 index walk were not.
+		rest := chunk
+		for len(rest) > 0 {
+			blk := rest
+			if len(rest) >= matchBatch {
+				blk = rest[:matchBatch]
+				rest = rest[matchBatch:]
+			} else {
+				rest = nil
 			}
 			k.Refresh()
-			pairs, _ = table.ProbeBatch(chunk[start:end], pairs[:0])
-			for i := 0; i+1 < len(pairs); i += 2 {
-				k.Match(pairs[i], pairs[i+1])
+			pairs, _ = table.ProbeBatch(blk, pairs[:0])
+			for ps := pairs; len(ps) >= 2; ps = ps[2:] {
+				k.Match(ps[0], ps[1])
 			}
 		}
 		ctx.Pool.PutTuples(pairs)

@@ -105,21 +105,29 @@ func (PRJ) Run(ctx *core.ExecContext) error {
 		pairs := ctx.Pool.Tuples(2 * matchBatch)
 		for {
 			p := int(next.Add(1)) - 1
-			if p >= fanout {
+			if p < 0 || p >= fanout {
+				// p < 0 is unreachable (the counter only goes up); stating
+				// it hands the prover the lower bound every per-thread
+				// partition index below needs (LINTING.md §BCE).
 				break
 			}
 			ctx.Begin(tid, metrics.PhaseBuildSort)
 			var table *hashtable.Table
 			if fuse {
 				// Build already happened inside the fused scatter.
+				if p >= len(tabsR) {
+					break // unreachable: the fused scatter sized fanout tables
+				}
 				if table = tabsR[p]; table == nil {
 					continue
 				}
 				tw.AddTuples(table.Size())
 			} else {
 				nR := 0
-				for t := 0; t < ctx.Threads; t++ {
-					nR += len(partsR[t][p])
+				for t := range partsR {
+					if prt := partsR[t]; p < len(prt) {
+						nR += len(prt[p])
+					}
 				}
 				if nR == 0 {
 					continue
@@ -129,27 +137,47 @@ func (PRJ) Run(ctx *core.ExecContext) error {
 				if ctx.Tracer != nil {
 					table.SetTracer(ctx.Tracer, uint64(p)<<22|1<<40)
 				}
-				for t := 0; t < ctx.Threads; t++ {
-					table.InsertBatchHashed(partsR[t][p], hashR[t][p])
+				for t := range partsR {
+					if t >= len(hashR) {
+						break // unreachable: partition and hash tables are sized together
+					}
+					prt, hrt := partsR[t], hashR[t]
+					if p >= len(prt) || p >= len(hrt) {
+						continue // unreachable: every partitioner produces fanout partitions
+					}
+					table.InsertBatchHashed(prt[p], hrt[p])
 				}
 			}
 			ctx.M.MemAdd(table.MemBytes())
 
 			ctx.Begin(tid, metrics.PhaseProbe)
 			k.Refresh()
-			for t := 0; t < ctx.Threads; t++ {
-				probes := partsS[t][p]
-				hashes := hashS[t][p]
+			for t := range partsS {
+				if t >= len(hashS) {
+					break // unreachable: partition and hash tables are sized together
+				}
+				pst, hst := partsS[t], hashS[t]
+				if p >= len(pst) || p >= len(hst) {
+					continue // unreachable: every partitioner produces fanout partitions
+				}
+				probes := pst[p]
+				hashes := hst[p]
 				tw.AddTuples(int64(len(probes)))
-				for start := 0; start < len(probes); start += matchBatch {
-					end := start + matchBatch
-					if end > len(probes) {
-						end = len(probes)
+				// Constant-length blocks with a short final block; the
+				// match walk advances a slice two tuples at a time
+				// (LINTING.md §BCE).
+				for len(probes) > 0 {
+					pblk, hblk := probes, hashes
+					if len(probes) >= matchBatch && len(hashes) >= matchBatch {
+						pblk, hblk = probes[:matchBatch], hashes[:matchBatch]
+						probes, hashes = probes[matchBatch:], hashes[matchBatch:]
+					} else {
+						probes = nil
 					}
 					k.Refresh()
-					pairs, _ = table.ProbeBatchHashed(probes[start:end], hashes[start:end], pairs[:0])
-					for i := 0; i+1 < len(pairs); i += 2 {
-						k.Match(pairs[i], pairs[i+1])
+					pairs, _ = table.ProbeBatchHashed(pblk, hblk, pairs[:0])
+					for ps := pairs; len(ps) >= 2; ps = ps[2:] {
+						k.Match(ps[0], ps[1])
 					}
 				}
 			}

@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"fmt"
+	"os/exec"
+	"sync"
+)
+
+// BuildDiagFlags is the one gcflags string shared by every driver-stage
+// gate: -m=2 feeds escapegate (heap-allocation diagnostics) and inlinegate
+// (inliner verdicts with costs), -d=ssa/check_bce/debug=1 feeds bcegate
+// (residual bounds checks). Running all three from one compiler invocation
+// means `make check` pays the diagnostics build once, not three times, and
+// repeat runs replay the diagnostics from the build cache.
+const BuildDiagFlags = "-m=2 -d=ssa/check_bce/debug=1"
+
+// BuildDiag is one cached `go build` diagnostics run over a module. The
+// three driver-stage gates (escapegate, bcegate, inlinegate) share a
+// single BuildDiag so the compile cost is paid once per driver process;
+// each gate parses only the diagnostic lines it understands.
+type BuildDiag struct {
+	// Root is the module root the build runs in.
+	Root string
+	// GoTool overrides the go executable; empty means "go" from PATH.
+	GoTool string
+
+	once sync.Once
+	out  string
+	err  error
+}
+
+// NewBuildDiag returns a diagnostics run for the module at root that
+// executes lazily, at most once.
+func NewBuildDiag(root, goTool string) *BuildDiag {
+	return &BuildDiag{Root: root, GoTool: goTool}
+}
+
+// Output runs `go build -gcflags="-m=2 -d=ssa/check_bce/debug=1" ./...`
+// on first call and returns the combined compiler output; subsequent calls
+// return the cached result.
+func (d *BuildDiag) Output() (string, error) {
+	d.once.Do(func() {
+		tool := d.GoTool
+		if tool == "" {
+			tool = "go"
+		}
+		cmd := exec.Command(tool, "build", "-gcflags="+BuildDiagFlags, "./...")
+		cmd.Dir = d.Root
+		out, err := cmd.CombinedOutput()
+		d.out = string(out)
+		if err != nil {
+			d.err = fmt.Errorf("lint: go build -gcflags=%q failed: %v\n%s", BuildDiagFlags, err, out)
+		}
+	})
+	return d.out, d.err
+}

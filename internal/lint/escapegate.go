@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
-	"os/exec"
 	"path/filepath"
 	"regexp"
 	"strconv"
@@ -103,6 +102,38 @@ type HotSpan struct {
 	StartLine int
 	EndLine   int
 	Loops     [][2]int // inclusive [start,end] line ranges of loop bodies
+	// Allows lists rules granted a function-scope escape hatch by a
+	// `//lint:allow <rule> <reason>` line in the function's doc comment.
+	// Line-level allows suit AST rules, but a gate diagnostic can move
+	// with every compiler release; the function is the stable contract
+	// unit, so gate rules (escapegate, bcegate) honor doc-comment allows
+	// across the whole span.
+	Allows []string
+}
+
+// allowsRule reports whether the span's doc comment allows the rule.
+func (s HotSpan) allowsRule(rule string) bool {
+	for _, r := range s.Allows {
+		if r == rule {
+			return true
+		}
+	}
+	return false
+}
+
+// docAllows extracts the rules allowed by //lint:allow lines of a doc
+// comment group.
+func docAllows(doc *ast.CommentGroup) []string {
+	if doc == nil {
+		return nil
+	}
+	var rules []string
+	for _, c := range doc.List {
+		if m := allowRe.FindStringSubmatch(c.Text); m != nil {
+			rules = append(rules, m[1])
+		}
+	}
+	return rules
 }
 
 // inLoop reports whether a line falls inside one of the span's loop bodies.
@@ -145,7 +176,7 @@ func HotPathSpans(prog *Program) []HotSpan {
 					loops = append(loops, [2]int{p.Fset.Position(body.Pos()).Line, p.Fset.Position(body.End()).Line})
 					return true
 				})
-				spans = append(spans, HotSpan{Name: name, File: start.Filename, StartLine: start.Line, EndLine: end.Line, Loops: loops})
+				spans = append(spans, HotSpan{Name: name, File: start.Filename, StartLine: start.Line, EndLine: end.Line, Loops: loops, Allows: docAllows(fn.Doc)})
 			}
 		}
 	}
@@ -169,6 +200,9 @@ func MatchEscapes(root string, diags []EscapeDiag, spans []HotSpan) []Finding {
 			if s.File != file || d.Line < s.StartLine || d.Line > s.EndLine || !s.inLoop(d.Line) {
 				continue
 			}
+			if s.allowsRule("escapegate") {
+				break // function-scope contract covers the whole span
+			}
 			out = append(out, Finding{
 				Rule: "escapegate",
 				Sev:  Error,
@@ -185,17 +219,23 @@ func MatchEscapes(root string, diags []EscapeDiag, spans []HotSpan) []Finding {
 // parse the escape diagnostics, and report allocations inside hotpath
 // functions of the loaded program, after the standard escape hatches.
 func (g EscapeGate) Check(root string, prog *Program, pathAllow map[string][]string) ([]Finding, error) {
-	tool := g.GoTool
-	if tool == "" {
-		tool = "go"
-	}
-	cmd := exec.Command(tool, "build", "-gcflags=-m=2", "./...")
-	cmd.Dir = root
-	out, err := cmd.CombinedOutput()
+	return g.CheckDiag(NewBuildDiag(root, g.GoTool), prog, pathAllow)
+}
+
+// CheckDiag is Check against a shared diagnostics run, so the driver pays
+// for one `go build` across escapegate, bcegate, and inlinegate.
+func (g EscapeGate) CheckDiag(diag *BuildDiag, prog *Program, pathAllow map[string][]string) ([]Finding, error) {
+	out, err := diag.Output()
 	if err != nil {
-		return nil, fmt.Errorf("escapegate: go build -gcflags=-m=2 failed: %v\n%s", err, out)
+		return nil, fmt.Errorf("escapegate: %w", err)
 	}
-	findings := MatchEscapes(root, ParseEscapeOutput(string(out)), HotPathSpans(prog))
+	findings := MatchEscapes(diag.Root, ParseEscapeOutput(out), HotPathSpans(prog))
+	return filterGateFindings(prog, findings, pathAllow), nil
+}
+
+// filterGateFindings applies the standard escape hatches (path allowlist
+// and line-level allow comments) to gate findings and sorts the survivors.
+func filterGateFindings(prog *Program, findings []Finding, pathAllow map[string][]string) []Finding {
 	if pathAllow == nil {
 		pathAllow = DefaultPathAllow
 	}
@@ -209,7 +249,7 @@ func (g EscapeGate) Check(root string, prog *Program, pathAllow map[string][]str
 		kept = append(kept, f)
 	}
 	SortFindings(kept)
-	return kept, nil
+	return kept
 }
 
 // packageOf finds the loaded package containing a file.
@@ -227,4 +267,13 @@ func packageOf(prog *Program, filename string) *Package {
 // outside the loader's FileSet (the compiler's output).
 func positionAt(file string, line, col int) token.Position {
 	return token.Position{Filename: file, Line: line, Column: col}
+}
+
+// absAgainst resolves a compiler-printed path (relative to the build
+// directory) against the module root.
+func absAgainst(root, file string) string {
+	if filepath.IsAbs(file) {
+		return file
+	}
+	return filepath.Join(root, file)
 }

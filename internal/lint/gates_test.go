@@ -1,0 +1,259 @@
+package lint
+
+import (
+	"math/rand"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestParseBCEOutput pins the check_bce output contract: only Found
+// IsInBounds/IsSliceInBounds lines parse, duplicates from multiple build
+// units collapse, and escape/inline chatter on the same stream is ignored.
+func TestParseBCEOutput(t *testing.T) {
+	out := strings.Join([]string{
+		"# repro/internal/hashtable",
+		"internal/hashtable/batch.go:107:12: Found IsInBounds",
+		"internal/hashtable/batch.go:107:22: Found IsInBounds",
+		"internal/hashtable/batch.go:121:10: Found IsSliceInBounds",
+		"internal/hashtable/batch.go:107:12: leaking param: t",
+		"internal/hashtable/batch.go:140:6: can inline (*Table).Insert",
+		"# repro/internal/hashtable [repro/internal/hashtable.test]",
+		"internal/hashtable/batch.go:107:12: Found IsInBounds",
+	}, "\n")
+	got := ParseBCEOutput(out)
+	want := []BCEDiag{
+		{File: "internal/hashtable/batch.go", Line: 107, Col: 12, Kind: "IsInBounds"},
+		{File: "internal/hashtable/batch.go", Line: 107, Col: 22, Kind: "IsInBounds"},
+		{File: "internal/hashtable/batch.go", Line: 121, Col: 10, Kind: "IsSliceInBounds"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ParseBCEOutput = %+v, want %+v", got, want)
+	}
+}
+
+// TestParseInlineOutput pins the inliner-verdict contract: can-inline
+// verdicts with and without costs, cost-exceeds-budget refusals with the
+// cost and budget split out, other refusals with the raw reason, and
+// duplicate collapse.
+func TestParseInlineOutput(t *testing.T) {
+	out := strings.Join([]string{
+		"# repro/internal/hashtable",
+		"internal/hashtable/hashtable.go:42:6: can inline Hash with cost 21 as: func(tuple.Key, uint32) uint32 { ... }",
+		"internal/hashtable/hashtable.go:90:6: can inline (*Table).Reset",
+		"internal/hashtable/batch.go:200:6: cannot inline (*Table).InsertHashed: function too complex: cost 119 exceeds budget 80",
+		"internal/hashtable/batch.go:219:6: cannot inline (*Table).spill: marked go:noinline",
+		"internal/hashtable/batch.go:200:17: leaking param: t",
+		"# repro/internal/hashtable [repro/internal/hashtable.test]",
+		"internal/hashtable/hashtable.go:42:6: can inline Hash with cost 21 as: func(tuple.Key, uint32) uint32 { ... }",
+	}, "\n")
+	got := ParseInlineOutput(out)
+	want := []InlineDiag{
+		{File: "internal/hashtable/hashtable.go", Line: 42, Col: 6, Name: "Hash", CanInline: true, Cost: 21},
+		{File: "internal/hashtable/hashtable.go", Line: 90, Col: 6, Name: "(*Table).Reset", CanInline: true},
+		{File: "internal/hashtable/batch.go", Line: 200, Col: 6, Name: "(*Table).InsertHashed", Cost: 119, Budget: 80, Reason: "function too complex: cost 119 exceeds budget 80"},
+		{File: "internal/hashtable/batch.go", Line: 219, Col: 6, Name: "(*Table).spill", Reason: "marked go:noinline"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ParseInlineOutput = %+v, want %+v", got, want)
+	}
+}
+
+// buildFixtureDiag compiles one testdata package with the shared gate
+// flags and returns its combined diagnostics plus the loaded program.
+func buildFixtureDiag(t *testing.T, pkgdir string) (string, string, *Program) {
+	t.Helper()
+	root := repoRoot(t)
+	cmd := exec.Command("go", "build", "-gcflags="+BuildDiagFlags, "./internal/lint/testdata/src/"+pkgdir)
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build %s: %v\n%s", pkgdir, err, out)
+	}
+	pkg, err := Load(filepath.Join(root, "internal", "lint", "testdata", "src", pkgdir), root, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root, string(out), NewProgram([]*Package{pkg})
+}
+
+// TestBCEGateFixture is the positive control: exactly HotUnproven's two
+// in-loop bounds checks survive. HotProven is fully eliminated, the
+// straight-line check in HotSetupCheck passes the loop-only scope, and
+// HotAllowed's function-scope allow covers its data-dependent loop.
+func TestBCEGateFixture(t *testing.T) {
+	root, out, prog := buildFixtureDiag(t, "bcefixture")
+	spans := HotPathSpans(prog)
+	if len(spans) != 4 {
+		t.Fatalf("expected 4 hotpath spans in bcefixture, got %+v", spans)
+	}
+	findings := filterGateFindings(prog, MatchBounds(root, ParseBCEOutput(out), spans), nil)
+	if len(findings) != 2 {
+		t.Fatalf("expected exactly 2 bcegate findings, got %+v", findings)
+	}
+	for _, f := range findings {
+		if !strings.Contains(f.Msg, "HotUnproven") || !strings.Contains(f.Msg, "IsInBounds") {
+			t.Errorf("finding does not name the unproven hotpath: %s", f.Msg)
+		}
+		if filepath.Base(f.Pos.Filename) != "bcefixture.go" {
+			t.Errorf("finding in %s, want bcefixture.go", f.Pos.Filename)
+		}
+	}
+}
+
+// TestInlineGateFixture: the refused BigMix fails with its cost and the
+// over-by delta, SmallMix passes, and BigMixAllowed's final-doc-line allow
+// suppresses the refusal.
+func TestInlineGateFixture(t *testing.T) {
+	root, out, prog := buildFixtureDiag(t, "inlfixture")
+	spans := InlineSpans(prog)
+	if len(spans) != 3 {
+		t.Fatalf("expected 3 inline spans in inlfixture, got %+v", spans)
+	}
+	findings := filterGateFindings(prog, MatchInline(root, ParseInlineOutput(out), spans), nil)
+	if len(findings) != 1 {
+		t.Fatalf("expected exactly 1 inlinegate finding, got %+v", findings)
+	}
+	msg := findings[0].Msg
+	if !strings.Contains(msg, "BigMix") || !strings.Contains(msg, "exceeds budget 80") || !strings.Contains(msg, "over by") {
+		t.Errorf("refusal message lacks cost/budget delta: %s", msg)
+	}
+	costs := InlineCosts(root, ParseInlineOutput(out), spans)
+	if len(costs) != 3 {
+		t.Fatalf("expected 3 inline costs, got %+v", costs)
+	}
+	for _, c := range costs {
+		if c.Name == "SmallMix" && (!c.Inlined || c.Headroom <= 0) {
+			t.Errorf("SmallMix should be inlined with headroom: %+v", c)
+		}
+		if c.Name == "BigMix" && (c.Inlined || c.Headroom >= 0) {
+			t.Errorf("BigMix should be refused with negative headroom: %+v", c)
+		}
+	}
+}
+
+// TestBCEGateRepoTree runs the full driver stage over the module: every
+// hotpath loop is either proven bounds-check free or carries a written
+// data-dependent-bound contract.
+func TestBCEGateRepoTree(t *testing.T) {
+	root := repoRoot(t)
+	prog, err := LoadProgram(root, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := (BCEGate{}).Check(root, prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Msg)
+	}
+}
+
+// TestInlineGateRepoTree: every //iawj:inline contract in the tree holds.
+func TestInlineGateRepoTree(t *testing.T) {
+	root := repoRoot(t)
+	prog, err := LoadProgram(root, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := (InlineGate{}).Check(root, prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Msg)
+	}
+	// The tree must actually carry contracts — the gate watching nothing
+	// would pass vacuously.
+	if spans := InlineSpans(prog); len(spans) == 0 {
+		t.Error("no //iawj:inline contracts in the tree; inlinegate guards nothing")
+	}
+}
+
+// TestGateMatchersOrderInsensitive: shuffling diagnostic and span order
+// must not change the (sorted) findings of either matcher — the driver
+// output is byte-stable no matter how the compiler orders its build units.
+func TestGateMatchersOrderInsensitive(t *testing.T) {
+	rootB, outB, progB := buildFixtureDiag(t, "bcefixture")
+	bceDiags := ParseBCEOutput(outB)
+	bceSpans := HotPathSpans(progB)
+	wantB := filterGateFindings(progB, MatchBounds(rootB, bceDiags, bceSpans), nil)
+
+	rootI, outI, progI := buildFixtureDiag(t, "inlfixture")
+	inlDiags := ParseInlineOutput(outI)
+	inlSpans := InlineSpans(progI)
+	wantI := filterGateFindings(progI, MatchInline(rootI, inlDiags, inlSpans), nil)
+
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		db := append([]BCEDiag(nil), bceDiags...)
+		sb := append([]HotSpan(nil), bceSpans...)
+		rng.Shuffle(len(db), func(i, j int) { db[i], db[j] = db[j], db[i] })
+		rng.Shuffle(len(sb), func(i, j int) { sb[i], sb[j] = sb[j], sb[i] })
+		if got := filterGateFindings(progB, MatchBounds(rootB, db, sb), nil); !reflect.DeepEqual(got, wantB) {
+			t.Errorf("seed %d: shuffled bcegate findings differ:\ngot  %+v\nwant %+v", seed, got, wantB)
+		}
+		di := append([]InlineDiag(nil), inlDiags...)
+		si := append([]InlineSpan(nil), inlSpans...)
+		rng.Shuffle(len(di), func(i, j int) { di[i], di[j] = di[j], di[i] })
+		rng.Shuffle(len(si), func(i, j int) { si[i], si[j] = si[j], si[i] })
+		if got := filterGateFindings(progI, MatchInline(rootI, di, si), nil); !reflect.DeepEqual(got, wantI) {
+			t.Errorf("seed %d: shuffled inlinegate findings differ:\ngot  %+v\nwant %+v", seed, got, wantI)
+		}
+	}
+}
+
+// TestGatesCrossCwd: the gates anchor everything to the module root they
+// are handed, so running from an unrelated working directory yields
+// byte-identical findings.
+func TestGatesCrossCwd(t *testing.T) {
+	root, out, prog := buildFixtureDiag(t, "bcefixture")
+	want := filterGateFindings(prog, MatchBounds(root, ParseBCEOutput(out), HotPathSpans(prog)), nil)
+	if len(want) == 0 {
+		t.Fatal("expected seeded findings")
+	}
+	t.Chdir(t.TempDir())
+	got := filterGateFindings(prog, MatchBounds(root, ParseBCEOutput(out), HotPathSpans(prog)), nil)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("findings differ across cwd:\ngot  %+v\nwant %+v", got, want)
+	}
+	for _, f := range got {
+		if !filepath.IsAbs(f.Pos.Filename) {
+			t.Errorf("finding path %q is not absolute (module-root anchored)", f.Pos.Filename)
+		}
+	}
+	// The shared BuildDiag itself must also be cwd-independent: it runs in
+	// Root, not in the process working directory.
+	diag := NewBuildDiag(root, "")
+	if _, err := diag.Output(); err != nil {
+		t.Fatalf("BuildDiag from foreign cwd: %v", err)
+	}
+}
+
+// TestSharedBuildDiagRunsOnce: all three driver gates consuming one
+// BuildDiag trigger exactly one compile.
+func TestSharedBuildDiagRunsOnce(t *testing.T) {
+	root := repoRoot(t)
+	prog, err := LoadProgram(root, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diag := NewBuildDiag(root, "")
+	if _, err := (EscapeGate{}).CheckDiag(diag, prog, nil); err != nil {
+		t.Fatal(err)
+	}
+	out1, _ := diag.Output()
+	if _, err := (BCEGate{}).CheckDiag(diag, prog, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (InlineGate{}).CheckDiag(diag, prog, nil); err != nil {
+		t.Fatal(err)
+	}
+	out2, _ := diag.Output()
+	if out1 != out2 {
+		t.Error("shared BuildDiag re-ran between gates; output changed")
+	}
+}

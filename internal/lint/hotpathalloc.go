@@ -5,7 +5,6 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"strings"
 )
 
 // HotPathAlloc flags heap-allocating constructs inside functions annotated
@@ -84,15 +83,7 @@ func (a HotPathAlloc) Check(p *Package) []Finding {
 // isHotPath reports whether the declaration carries the hotpath marker in
 // its doc comment.
 func isHotPath(fn *ast.FuncDecl) bool {
-	if fn.Doc == nil {
-		return false
-	}
-	for _, c := range fn.Doc.List {
-		if strings.TrimSpace(c.Text) == HotPathMarker {
-			return true
-		}
-	}
-	return false
+	return hasMarker(fn, HotPathMarker)
 }
 
 // checkHotFunc scans one annotated function, including its nested

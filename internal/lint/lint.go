@@ -102,6 +102,7 @@ func AllProgram() []ProgramAnalyzer {
 		GuardInfer{},
 		AtomicMix{},
 		GoEscape{},
+		MapOrder{},
 	}
 }
 
@@ -112,7 +113,8 @@ type RuleInfo struct {
 }
 
 // Catalogue lists every rule the driver can run: per-package analyzers,
-// whole-program analyzers, and the escapegate build stage.
+// whole-program analyzers, and the driver-stage build gates (escapegate,
+// bcegate, inlinegate — all fed by one shared -gcflags diagnostics run).
 func Catalogue() []RuleInfo {
 	var out []RuleInfo
 	for _, a := range All() {
@@ -121,8 +123,12 @@ func Catalogue() []RuleInfo {
 	for _, a := range AllProgram() {
 		out = append(out, RuleInfo{a.Name(), a.Doc()})
 	}
-	g := EscapeGate{}
-	out = append(out, RuleInfo{g.Name(), g.Doc()})
+	eg, bg, ig := EscapeGate{}, BCEGate{}, InlineGate{}
+	out = append(out,
+		RuleInfo{eg.Name(), eg.Doc()},
+		RuleInfo{bg.Name(), bg.Doc()},
+		RuleInfo{ig.Name(), ig.Doc()},
+	)
 	return out
 }
 
@@ -133,6 +139,50 @@ func RuleNames() []string {
 		names = append(names, r.Name)
 	}
 	return names
+}
+
+// Contracts holds the long-form contract text behind each rule, printed by
+// `iawjlint -explain <rule>`: what the rule proves, why the repro depends
+// on it, and which escape hatches are sanctioned. The one-line Doc is the
+// catalogue summary; this is the paragraph a reviewer reads before writing
+// a //lint:allow.
+var Contracts = map[string]string{
+	"determinism":    "Replays and golden files require run-to-run byte stability. Wall-clock reads (time.Now) and unseeded randomness are banned outside internal/clock and the metrics harness; derive time from the run ledger and randomness from the seeded workload spec.",
+	"lockdiscipline": "Every mutex acquire must have a statically-paired release on all paths: defer immediately after Lock, or an unlock on every return. A leaked lock in a partition worker deadlocks the barrier, which presents as a hang, not a failure.",
+	"goroutineleak":  "Worker goroutines must be joined: every `go` statement needs a matching WaitGroup.Add/Done or a bounded channel join. Leaked workers skew the next measurement window's CPU accounting.",
+	"hotpathalloc":   "//iawj:hotpath bodies must not allocate per iteration: no captured-slice append, fmt.Sprintf, map literals, closure creation, string conversion, or interface boxing inside loops. The kernels' ns/tuple figures assume zero GC pressure; take scratch from the pool.",
+	"panicpolicy":    "Kernels and workers never panic on data; panics are reserved for programmer errors caught at construction time. A panic in a worker tears down the process mid-measurement and poisons the ledger.",
+	"tracering":      "Trace emission in hot code goes through the fixed-size ring, never through a growing slice or unbuffered channel; the ring's overwrite semantics are the sanctioned loss model.",
+	"lockorder":      "Locks must be acquired in one global order (the order of first acquisition in the program). A cycle between partition locks and the ledger lock is a deadlock that only fires under the open-loop harness's contention.",
+	"falseshare":     "Per-thread counters and heads must be padded to a cache line; adjacent hot fields from different threads in one line serialize the memory system and flatten the scalability curves the paper is about.",
+	"guardinfer":     "Fields consistently accessed under one mutex are inferred to be guarded by it; an access outside that mutex is a data race the race detector only finds if the schedule cooperates. Declare intentional unguarded access with //lint:allow guardinfer.",
+	"atomicmix":      "A word accessed atomically anywhere must be accessed atomically everywhere; mixing atomic.Load with plain reads is undefined under the Go memory model even when it happens to work on amd64.",
+	"goescape":       "Closures passed to `go` must not capture loop variables by reference or retain per-iteration scratch; the escape is both a correctness hazard and a hidden allocation.",
+	"maporder":       "Go randomizes map iteration order per run. Any value whose ORDER derives from ranging over a map (keys collected in the range body, appends inside it, maps.Keys iterators) must pass a sort barrier (sort.*, slices.Sort*, or a local *sort* helper) before reaching an emission sink: fmt output, Write*/Encode stream methods, digest updates, or a slice returned from an exported function. Order-independent sinks (a commutative digest) are sanctioned violations — justify with //lint:allow maporder and say WHY order cannot matter.",
+	"escapegate":     "The compiler's own escape analysis (-m=2) proves no //iawj:hotpath loop body heap-allocates. Per-run setup allocations in straight-line code pass; per-iteration allocations fail. Fix by hoisting or pooling; function-scope //lint:allow escapegate in the doc comment sanctions a span whose allocations are by design.",
+	"bcegate":        "The compiler's BCE debug pass (-d=ssa/check_bce/debug=1) proves no //iawj:hotpath loop body retains a bounds check. Recipes, in order of preference: slice-to-length staging (blk := xs[lo:lo+n]; hs := heads[:len(blk)]; index both by j := range blk), the `_ = s[n-1]` hoist before the loop, and uint comparison against a constant capacity (if uint32(i) >= cap). Data-dependent bounds the prover cannot see (chain walks bounded by a stored count) take a function-scope //lint:allow bcegate with the invariant written out.",
+	"inlinegate":     "Functions annotated //iawj:inline are contracts: the inliner must accept them (budget 80). The gate parses -m=2 verdicts and fails on refusal, reporting cost and the over-by delta so budget creep is visible in the diff that caused it. Fix by trimming the body or outlining the cold path behind //go:noinline; or drop the annotation if inlining no longer matters there.",
+}
+
+// Explain returns the -explain text for a rule: its one-line Doc plus the
+// long-form contract. ok is false for names outside the catalogue.
+func Explain(name string) (string, bool) {
+	var doc string
+	found := false
+	for _, r := range Catalogue() {
+		if r.Name == name {
+			doc, found = r.Doc, true
+			break
+		}
+	}
+	if !found {
+		return "", false
+	}
+	text := name + ": " + doc
+	if c, ok := Contracts[name]; ok {
+		text += "\n\n" + c
+	}
+	return text, true
 }
 
 // DefaultPathAllow maps rule name to slash-separated path prefixes

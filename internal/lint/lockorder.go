@@ -137,7 +137,15 @@ func (lo LockOrder) CheckProgram(prog *Program) []Finding {
 						Msg:  fmt.Sprintf("%s held across call to %s, which may block; unlock first or restructure", strings.Join(c.held, ", "), calleeID),
 					})
 				}
+				// Iterate acquires sorted: the findings and edges appended
+				// below must be byte-stable run to run (maporder — acquires
+				// is a map, and findings escape through the exported API).
+				acqs := make([]string, 0, len(callee.acquires))
 				for acq := range callee.acquires {
+					acqs = append(acqs, acq)
+				}
+				sort.Strings(acqs)
+				for _, acq := range acqs {
 					for _, h := range c.held {
 						if h == acq {
 							findings = append(findings, Finding{

@@ -31,6 +31,7 @@ func TestProgramAnalyzersAgainstFixtures(t *testing.T) {
 		{GuardInfer{}, "guardinfer.go"},
 		{AtomicMix{}, "atomicmix.go"},
 		{GoEscape{}, "goescape.go"},
+		{MapOrder{}, "maporder.go"},
 	}
 	for _, tc := range table {
 		t.Run(tc.analyzer.Name(), func(t *testing.T) {

@@ -1,0 +1,59 @@
+// Package bcefixture seeds bcegate's positive and negative controls. It
+// is built by explicit path with -d=ssa/check_bce/debug=1 in the gate
+// tests — the testdata tree is invisible to ./... builds.
+package bcefixture
+
+// HotUnproven keeps data-dependent bounds checks in its loop: idx[i] has
+// no provable relation to len(xs), and out[idx[i]] is a scatter through
+// an unproven index. Both IsInBounds diagnostics land inside the loop
+// body — the positive control.
+//
+//iawj:hotpath
+func HotUnproven(xs, idx, out []int32) {
+	for i := 0; i < len(xs); i++ {
+		out[idx[i]] = xs[i]
+	}
+}
+
+// HotProven stages both slices to a common proven length before the loop,
+// so every in-loop index is bounds-check free — the negative control.
+//
+//iawj:hotpath
+func HotProven(xs, out []int32) int32 {
+	if len(out) < len(xs) {
+		return 0
+	}
+	dst := out[:len(xs)]
+	var sum int32
+	for i := range xs {
+		sum += xs[i]
+		dst[i] = sum
+	}
+	return sum
+}
+
+// HotSetupCheck pays one straight-line bounds check before a proven loop:
+// per-run cost, which the gate's loop-only scope must pass.
+//
+//iawj:hotpath
+func HotSetupCheck(xs []int32) int32 {
+	x := xs[3]
+	for i := range xs {
+		x += xs[i]
+	}
+	return x
+}
+
+// HotAllowed walks a chain bounded by a count the prover cannot see; the
+// function-scope allow is the sanctioned contract for data-dependent
+// bounds.
+//
+//lint:allow bcegate fixture: chain bound is data-dependent by design
+//iawj:hotpath
+func HotAllowed(xs, idx []int32) int32 {
+	var sum int32
+	for i := 0; i < len(xs); i++ {
+		sum += xs[idx[i]]
+	}
+	return sum
+}

@@ -1,0 +1,152 @@
+package fixture
+
+import (
+	"fmt"
+	"maps"
+	"slices"
+	"sort"
+	"strings"
+)
+
+// Positive and negative controls for the maporder determinism dataflow.
+
+// moDigest looks like an order-sensitive digest to the type heuristic.
+type moDigest struct{ sum uint64 }
+
+func (d *moDigest) Add(s string) { d.sum += uint64(len(s)) }
+
+// MoPrintDirect emits inside the map range itself: the canonical bug.
+func MoPrintDirect(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want maporder
+	}
+}
+
+// MoPrintCollected appends in map order and emits the slice unsorted: the
+// taint must survive the hop through the local.
+func MoPrintCollected(m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	fmt.Println(keys) // want maporder
+}
+
+// MoPrintSorted is the sanctioned shape: collect, sort, emit.
+func MoPrintSorted(m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Println(keys)
+}
+
+// MoSlicesSorted uses the iterator stdlib: slices.Sorted over maps.Keys is
+// born clean, bare slices.Collect is not.
+func MoSlicesSorted(m map[string]int) {
+	clean := slices.Sorted(maps.Keys(m))
+	fmt.Println(clean)
+	dirty := slices.Collect(maps.Keys(m))
+	fmt.Println(dirty) // want maporder
+}
+
+// MoReturnUnsorted leaks map order across the exported API boundary.
+func MoReturnUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys // want maporder
+}
+
+// MoReturnSorted is the exported-return negative control.
+func MoReturnSorted(m map[string]int) []string {
+	keys := slices.Collect(maps.Keys(m))
+	slices.Sort(keys)
+	return keys
+}
+
+// moUnsortedKeys is unexported, so returning map order is not itself a
+// finding — but the summary must carry the taint to callers.
+func moUnsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// MoViaHelper receives the taint interprocedurally from moUnsortedKeys.
+func MoViaHelper(m map[string]int) {
+	keys := moUnsortedKeys(m)
+	fmt.Println(keys) // want maporder
+}
+
+// moSortedKeys embeds "sort" in its name and sorts before returning: the
+// summary must mark it clean, and calls to it act as barriers.
+func moSortedKeys(m map[string]int) []string {
+	keys := moUnsortedKeys(m)
+	sort.Strings(keys)
+	return keys
+}
+
+// MoViaSortedHelper is the interprocedural negative control.
+func MoViaSortedHelper(m map[string]int) {
+	fmt.Println(moSortedKeys(m))
+}
+
+// MoWriteInRange hits a stream sink (Write*) inside the range body.
+func MoWriteInRange(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want maporder
+	}
+	return b.String()
+}
+
+// MoDigestInRange updates an order-sensitive digest in map order. The
+// oracle's commutative digest does this BY DESIGN — that sanctioned case
+// carries a //lint:allow maporder contract in the real tree.
+func MoDigestInRange(m map[string]int) uint64 {
+	var d moDigest
+	for k := range m {
+		d.Add(k) // want maporder
+	}
+	return d.sum
+}
+
+// MoRangeTaintedSlice propagates order through a second range.
+func MoRangeTaintedSlice(m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for _, k := range keys {
+		fmt.Println(k) // want maporder
+	}
+}
+
+// MoReassigned loses the taint when the variable is rebound clean.
+func MoReassigned(m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	keys = []string{"a", "b"}
+	fmt.Println(keys)
+}
+
+// MoAllowed is the escape-hatch control: the emission is order-independent
+// because each line is self-contained and the consumer sorts.
+func MoAllowed(m map[string]int) {
+	var total int
+	for _, v := range m {
+		total += v // integer sum is commutative; no emission here
+	}
+	fmt.Println(total)
+	for k := range m {
+		_ = k
+		fmt.Println(len(m)) //lint:allow maporder fixture: proves the allow hatch
+	}
+}

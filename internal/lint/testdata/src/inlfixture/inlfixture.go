@@ -1,0 +1,77 @@
+// Package inlfixture seeds inlinegate's positive and negative controls.
+// It is built by explicit path with -m=2 in the gate tests — the testdata
+// tree is invisible to ./... builds.
+package inlfixture
+
+// SmallMix is comfortably inside the inliner budget — the negative
+// control, and the shape the //iawj:inline contract exists for.
+//
+//iawj:inline
+func SmallMix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0x9e3779b97f4a7c15
+	return x ^ (x >> 29)
+}
+
+// BigMix is a finalizer chain long enough to blow the budget: the inliner
+// must refuse it with a cost-exceeds-budget verdict — the positive
+// control.
+//
+//iawj:inline
+func BigMix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 29
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 32
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 31
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 30
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 28
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 27
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 26
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 25
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 24
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 23
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 22
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 21
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 20
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 19
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 18
+	return x
+}
+
+// BigMixAllowed blows the budget like BigMix but carries the line-level
+// allow as the final doc line — the escape-hatch control.
+//
+//iawj:inline
+//lint:allow inlinegate fixture: cold-path helper, inlining waived
+func BigMixAllowed(x uint64) uint64 {
+	return BigMix(BigMix(BigMix(BigMix(x))))
+}
+
+// plainHelper has no annotation: whatever the inliner decides is fine.
+func plainHelper(x uint64) uint64 { return x + 1 }
+
+// Use keeps everything referenced.
+func Use(x uint64) uint64 {
+	return SmallMix(x) + BigMix(x) + BigMixAllowed(x) + plainHelper(x)
+}

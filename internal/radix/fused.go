@@ -60,6 +60,9 @@ func (p *Partitioner) PartitionBuild(rel tuple.Relation, bits int, newTable func
 	for i := range hist {
 		hist[i] = 0
 	}
+	// Hoisted proof: the histogram spans every masked partition id
+	// (LINTING.md §BCE).
+	_ = hist[mask]
 	for i := range rel {
 		h := hashtable.Hash(rel[i].Key)
 		hashes[i] = h

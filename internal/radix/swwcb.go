@@ -160,6 +160,9 @@ func (p *Partitioner) PartitionHashed(rel tuple.Relation, bits int, tr cachesim.
 	for i := range hist {
 		hist[i] = 0
 	}
+	// Hoisted proof: the histogram spans every masked partition id
+	// (LINTING.md §BCE).
+	_ = hist[mask]
 	for i := range rel {
 		h := hashtable.Hash(rel[i].Key)
 		hashes[i] = h
@@ -177,6 +180,9 @@ func (p *Partitioner) PartitionHashed(rel tuple.Relation, bits int, tr cachesim.
 		pos[pi] = sum
 		sum += c
 	}
+	// Hoisted proof: the write cursors span every masked partition id
+	// (LINTING.md §BCE).
+	_ = pos[mask]
 
 	// Pass 2: scatter.
 	out := p.out[:n]
@@ -191,6 +197,7 @@ func (p *Partitioner) PartitionHashed(rel tuple.Relation, bits int, tr cachesim.
 		for i := range rel {
 			h := hashes[i]
 			d := pos[h&mask]
+			//lint:allow bcegate scatter destination is the prefix-sum cursor; d < len(out) by the histogram invariant, which no local fact can prove
 			out[d] = rel[i]
 			outH[d] = h
 			pos[h&mask] = d + 1
@@ -211,12 +218,16 @@ func (p *Partitioner) PartitionHashed(rel tuple.Relation, bits int, tr cachesim.
 		for i := range stageN {
 			stageN[i] = 0
 		}
+		// Hoisted proof: the fill counters span every masked partition id
+		// (LINTING.md §BCE).
+		_ = stageN[mask]
 		stageBase := base ^ 1<<58
 		for i := range rel {
 			h := hashes[i]
 			pi := int(h & mask)
 			bn := stageN[pi]
 			slot := pi*ft + int(bn)
+			//lint:allow bcegate staging slot combines the partition id with its fill count; bn < ft by the flush-at-ft invariant, which no local fact can prove
 			stage[slot] = rel[i]
 			hstage[slot] = h
 			bn++
@@ -243,8 +254,8 @@ func (p *Partitioner) PartitionHashed(rel tuple.Relation, bits int, tr cachesim.
 	for pi := 0; pi < fanout; pi++ {
 		lo := offs[pi]
 		hi := lo + hist[pi]
-		parts[pi] = out[lo:hi]
-		hparts[pi] = outH[lo:hi]
+		parts[pi] = out[lo:hi]   //lint:allow bcegate partition boundaries are prefix-sum offsets; lo <= hi <= len(out) by the histogram invariant, once per partition not per tuple
+		hparts[pi] = outH[lo:hi] //lint:allow bcegate same prefix-sum boundaries as the tuple partitions above
 	}
 	return parts, hparts
 }
@@ -266,6 +277,9 @@ func (p *Partitioner) partitionDirect(rel tuple.Relation, fanout int, mask uint3
 	for i := range hist {
 		hist[i] = 0
 	}
+	// Hoisted proof: the histogram and write cursors span every masked
+	// partition id (LINTING.md §BCE).
+	_ = hist[mask]
 	for i := range rel {
 		hist[hashtable.Hash(rel[i].Key)&mask]++
 	}
@@ -277,12 +291,14 @@ func (p *Partitioner) partitionDirect(rel tuple.Relation, fanout int, mask uint3
 		pos[pi] = sum
 		sum += c
 	}
+	_ = pos[mask]
 	out := p.out[:n]
 	if withH {
 		outH := p.outH[:n]
 		for i := range rel {
 			h := hashtable.Hash(rel[i].Key)
 			d := pos[h&mask]
+			//lint:allow bcegate scatter destination is the prefix-sum cursor; d < len(out) by the histogram invariant, which no local fact can prove
 			out[d] = rel[i]
 			outH[d] = h
 			pos[h&mask] = d + 1
@@ -291,6 +307,7 @@ func (p *Partitioner) partitionDirect(rel tuple.Relation, fanout int, mask uint3
 		for i := range rel {
 			h := hashtable.Hash(rel[i].Key)
 			d := pos[h&mask]
+			//lint:allow bcegate scatter destination is the prefix-sum cursor; d < len(out) by the histogram invariant, which no local fact can prove
 			out[d] = rel[i]
 			pos[h&mask] = d + 1
 		}
@@ -298,7 +315,7 @@ func (p *Partitioner) partitionDirect(rel tuple.Relation, fanout int, mask uint3
 	parts := p.parts[:fanout]
 	for pi := 0; pi < fanout; pi++ {
 		lo := offs[pi]
-		parts[pi] = out[lo : lo+hist[pi]]
+		parts[pi] = out[lo : lo+hist[pi]] //lint:allow bcegate partition boundaries are prefix-sum offsets; lo <= hi <= len(out) by the histogram invariant, once per partition not per tuple
 	}
 	if !withH {
 		return parts, nil
@@ -307,7 +324,7 @@ func (p *Partitioner) partitionDirect(rel tuple.Relation, fanout int, mask uint3
 	hparts := p.hparts[:fanout]
 	for pi := 0; pi < fanout; pi++ {
 		lo := offs[pi]
-		hparts[pi] = outH[lo : lo+hist[pi]]
+		hparts[pi] = outH[lo : lo+hist[pi]] //lint:allow bcegate same prefix-sum boundaries as the tuple partitions above
 	}
 	return parts, hparts
 }

@@ -35,7 +35,11 @@ func SortByKey(rel []tuple.Tuple, simd bool, tr cachesim.Tracer, base uint64) {
 	}
 }
 
-// keyRank maps an int32 key to a uint32 preserving signed order.
+// keyRank maps an int32 key to a uint32 preserving signed order. Runs per
+// comparison in every sort and merge loop; must stay inlinable
+// (LINTING.md §inlinegate).
+//
+//iawj:inline
 func keyRank(k int32) uint32 { return uint32(k) ^ 0x80000000 }
 
 // KeyRank exposes the order-preserving key mapping so callers can compute
@@ -288,6 +292,12 @@ func MergeJoin(r, s []tuple.Tuple, emit JoinEmit, tr cachesim.Tracer, baseR, bas
 	var matches int64
 	i, j := 0, 0
 	for i < len(r) && j < len(s) {
+		if i < 0 || j < 0 {
+			// Unreachable: both cursors only ever advance. Restated because
+			// the prover loses the lower bound through the run-expansion
+			// phis, and the loads below need it (LINTING.md §BCE).
+			break
+		}
 		kr, ks := keyRank(r[i].Key), keyRank(s[j].Key)
 		if tr != nil {
 			tr.Access(baseR + uint64(i)*tupleBytes)
@@ -311,8 +321,11 @@ func MergeJoin(r, s []tuple.Tuple, emit JoinEmit, tr cachesim.Tracer, baseR, bas
 			}
 			matches += int64(i2-i) * int64(j2-j)
 			if emit != nil {
-				for a := i; a < i2; a++ {
-					for b := j; b < j2; b++ {
+				// The redundant len bounds re-prove the run rectangle:
+				// i2 ≤ len(r) and j2 ≤ len(s) hold by construction, but
+				// the nested loop drops those facts (LINTING.md §BCE).
+				for a := i; a < i2 && a < len(r); a++ {
+					for b := j; b < j2 && b < len(s); b++ {
 						//lint:allow hotpathalloc the scalar emit reference path is deliberately indirect
 						emit(r[a], s[b])
 					}

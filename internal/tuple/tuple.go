@@ -36,7 +36,10 @@ type Relation []Tuple
 
 // Code packs the key and an index into a single uint64 sort code with the
 // key in the high bits, so sorting codes sorts tuples by key while keeping
-// a back-pointer to the original position.
+// a back-pointer to the original position. Runs per tuple in the sort
+// paths; must stay inlinable (LINTING.md §inlinegate).
+//
+//iawj:inline
 func Code(key int32, idx uint32) uint64 {
 	return uint64(uint32(key))<<32 | uint64(idx)
 }

@@ -6,11 +6,13 @@
 #   2. go vet       stdlib static analysis
 #   3. go build     the tree compiles
 #   4. iawjlint     repo-specific analyzers: per-package rules plus the
-#                   whole-program lockorder/falseshare passes and the
-#                   static race rules guardinfer/atomicmix/goescape
+#                   whole-program lockorder/falseshare/maporder passes and
+#                   the static race rules guardinfer/atomicmix/goescape
 #                   (LINTING.md; `make lint-race` runs just the latter)
-#   5. escapegate   `go build -gcflags=-m=2` escape diagnostics anchored
-#                   to //iawj:hotpath loops — the static AllocsPerRun gate
+#   5. build gates  escapegate + bcegate + inlinegate off one shared
+#                   `go build -gcflags="-m=2 -d=ssa/check_bce/debug=1"`
+#                   run: escape, bounds-check, and inliner verdicts
+#                   anchored to //iawj:hotpath and //iawj:inline spans
 #   6. go test      tier-1 verify
 #   7. go test -race  concurrency correctness, incl. the eager stress test
 #   8. trace smoke  a scaled-down fig7 sweep with -trace must yield valid
@@ -37,12 +39,28 @@
 #                   per-class openloop/* run records (WORKLOADS.md)
 #
 # Any stage failing aborts the gate with a non-zero exit.
+#
+# CHECK_TIMINGS=1 prints each stage's wall time as it completes, for
+# finding where the gate's minutes go.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FUZZTIME="${FUZZTIME:-5s}"
+CHECK_TIMINGS="${CHECK_TIMINGS:-0}"
 
-step() { printf '\n== %s ==\n' "$1"; }
+stage_name=""
+stage_start=0
+stage_done() {
+    if [ "$CHECK_TIMINGS" = "1" ] && [ -n "$stage_name" ]; then
+        printf -- '-- %s: %ds\n' "$stage_name" "$(( $(date +%s) - stage_start ))"
+    fi
+}
+step() {
+    stage_done
+    stage_name="$1"
+    stage_start="$(date +%s)"
+    printf '\n== %s ==\n' "$1"
+}
 
 step "gofmt"
 unformatted="$(gofmt -l .)"
@@ -62,8 +80,8 @@ go build ./...
 step "iawjlint ./..."
 go run ./cmd/iawjlint ./...
 
-step "escapegate (go build -gcflags=-m=2 over //iawj:hotpath loops)"
-go run ./cmd/iawjlint -rules escapegate ./...
+step "build gates (escapegate+bcegate+inlinegate, one shared -gcflags build)"
+go run ./cmd/iawjlint -rules escapegate,bcegate,inlinegate ./...
 
 step "go test ./..."
 go test ./...
@@ -141,4 +159,5 @@ fi
 go run ./cmd/iawjreport -self "$loadledger" >/dev/null
 echo "ok ($(ls examples/specs/*.json | wc -l) specs validated, $class_lines class records, self-compare clean)"
 
+stage_done
 printf '\ncheck: all stages passed\n'
